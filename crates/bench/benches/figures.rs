@@ -1,0 +1,218 @@
+//! Figure-shaped benchmarks: each runs a miniature version of one paper
+//! experiment end-to-end (build cluster, preload, measure) and reports the
+//! wall-clock cost of regenerating it. `cargo bench` therefore exercises
+//! every experiment pipeline; the printed *virtual-time* results live in
+//! the `fig*` harness binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use std::rc::Rc;
+
+use nbkv_core::cluster::{build_cluster, ClusterConfig};
+use nbkv_core::designs::Design;
+use nbkv_simrt::Sim;
+use nbkv_storesim::IoScheme;
+use nbkv_workload::{
+    preload, run_bursty, run_workload, AccessPattern, BurstSpec, OpMix, WorkloadSpec,
+};
+
+const MEM: u64 = 8 << 20;
+const VALUE: usize = 16 << 10;
+
+fn mini_latency_run(design: Design, data_bytes: u64, mix: OpMix, ops: usize) -> u64 {
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(design, MEM));
+    let client = Rc::clone(&cluster.clients[0]);
+    let sim2 = sim.clone();
+    let out = sim.run_until(async move {
+        let keys = (data_bytes / VALUE as u64) as usize;
+        preload(&client, keys, VALUE).await;
+        let spec = WorkloadSpec {
+            keys,
+            value_len: VALUE,
+            pattern: AccessPattern::Zipf(0.99),
+            mix,
+            ops,
+            flavor: design.flavor(),
+            window: 32,
+            seed: 5,
+            miss_penalty: std::time::Duration::from_millis(2),
+            recache_on_miss: true,
+        };
+        run_workload(&sim2, &client, &spec).await.mean_latency_ns
+    });
+    sim.shutdown();
+    out
+}
+
+/// Figures 1/2/6: per-design latency runs (data does not fit).
+fn bench_design_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_designs");
+    g.sample_size(10);
+    for design in Design::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(design.label()),
+            &design,
+            |b, &design| {
+                b.iter(|| mini_latency_run(design, MEM + MEM / 2, OpMix::WRITE_HEAVY, 200))
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Figure 4: I/O scheme sweep.
+fn bench_io_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_io_schemes");
+    g.sample_size(10);
+    for scheme in IoScheme::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| b.iter(|| nbkv_bench::figs::fig4::sync_write_cost_ns(scheme, 256 << 10)),
+        );
+    }
+    g.finish();
+}
+
+/// Figure 7(a): overlap measurement per API family.
+fn bench_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7a_overlap");
+    g.sample_size(10);
+    for design in [Design::HRdmaOptBlock, Design::HRdmaOptNonBB, Design::HRdmaOptNonBI] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(design.label()),
+            &design,
+            |b, &design| {
+                b.iter(|| mini_latency_run(design, MEM + MEM / 2, OpMix::READ_ONLY, 200))
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Figure 7(c): multi-client throughput (miniature).
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7c_throughput");
+    g.sample_size(10);
+    for design in [Design::HRdmaOptBlock, Design::HRdmaOptNonBI] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(design.label()),
+            &design,
+            |b, &design| {
+                b.iter(|| {
+                    let sim = Sim::new();
+                    let mut cfg = ClusterConfig::new(design, MEM / 2);
+                    cfg.servers = 2;
+                    cfg.clients = 8;
+                    let cluster = build_cluster(&sim, &cfg);
+                    let clients: Vec<_> = cluster.clients.iter().map(Rc::clone).collect();
+                    let sim2 = sim.clone();
+                    let out = sim.run_until(async move {
+                        preload(&clients[0], 256, 8 << 10).await;
+                        let tasks: Vec<_> = clients
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| {
+                                let c = Rc::clone(c);
+                                let sim = sim2.clone();
+                                async move {
+                                    let spec = WorkloadSpec {
+                                        keys: 256,
+                                        value_len: 8 << 10,
+                                        pattern: AccessPattern::Zipf(0.99),
+                                        mix: OpMix::WRITE_HEAVY,
+                                        ops: 100,
+                                        flavor: design.flavor(),
+                                        window: 16,
+                                        seed: i as u64,
+                                        miss_penalty: std::time::Duration::from_millis(2),
+                                        recache_on_miss: false,
+                                    };
+                                    run_workload(&sim, &c, &spec).await.ops
+                                }
+                            })
+                            .collect();
+                        nbkv_simrt::join_all(tasks).await.into_iter().sum::<usize>()
+                    });
+                    sim.shutdown();
+                    out
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Figures 8(a)/8(b): device sweep and bursty I/O (miniature).
+fn bench_devices_and_bursty(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for (label, device) in [
+        ("sata", nbkv_storesim::sata_ssd()),
+        ("nvme", nbkv_storesim::nvme_p3700()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("fig8a_nonb", label), &device, |b, &device| {
+            b.iter(|| {
+                let sim = Sim::new();
+                let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, MEM);
+                cfg.device = device;
+                let cluster = build_cluster(&sim, &cfg);
+                let client = Rc::clone(&cluster.clients[0]);
+                let sim2 = sim.clone();
+                let out = sim.run_until(async move {
+                    let keys = ((MEM + MEM / 2) / VALUE as u64) as usize;
+                    preload(&client, keys, VALUE).await;
+                    let spec = WorkloadSpec {
+                        keys,
+                        value_len: VALUE,
+                        pattern: AccessPattern::Zipf(0.99),
+                        mix: OpMix::WRITE_HEAVY,
+                        ops: 200,
+                        flavor: nbkv_core::proto::ApiFlavor::NonBlockingI,
+                        window: 32,
+                        seed: 5,
+                        miss_penalty: std::time::Duration::from_millis(2),
+                        recache_on_miss: false,
+                    };
+                    run_workload(&sim2, &client, &spec).await.mean_latency_ns
+                });
+                sim.shutdown();
+                out
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fig8b_bursty", label), &device, |b, &device| {
+            b.iter(|| {
+                let sim = Sim::new();
+                let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, MEM / 2);
+                cfg.servers = 2;
+                cfg.device = device;
+                let cluster = build_cluster(&sim, &cfg);
+                let client = Rc::clone(&cluster.clients[0]);
+                let sim2 = sim.clone();
+                let out = sim.run_until(async move {
+                    let spec = BurstSpec {
+                        block_bytes: 1 << 20,
+                        chunk_bytes: 128 << 10,
+                        total_bytes: 16 << 20,
+                        flavor: nbkv_core::proto::ApiFlavor::NonBlockingI,
+                    };
+                    run_bursty(&sim2, &client, &spec).await.mean_write_block_ns
+                });
+                sim.shutdown();
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_design_latency,
+    bench_io_schemes,
+    bench_overlap,
+    bench_throughput,
+    bench_devices_and_bursty
+);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Real-time microbenchmarks of the substrate data structures: these
+//! measure how fast the *simulator itself* runs (wall-clock), complementing
+//! the virtual-time figure harnesses.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytes::Bytes;
+use nbkv_core::client::Ring;
+use nbkv_core::proto::{ApiFlavor, Request, Response, SetMode};
+use nbkv_core::server::slab::{SlabConfig, SlabPool};
+use nbkv_simrt::Sim;
+use nbkv_storesim::LruMap;
+use nbkv_workload::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simrt");
+    g.bench_function("spawn_and_run_1000_tasks", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..1000u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep(std::time::Duration::from_nanos(i % 97)).await;
+                });
+            }
+            sim.run();
+            black_box(sim.stats().timer_events)
+        })
+    });
+    g.bench_function("timer_heap_10k_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..10_000u64 {
+                sim.schedule_in(std::time::Duration::from_nanos(i * 7 % 1013), |_| {});
+            }
+            sim.run();
+        })
+    });
+    g.finish();
+}
+
+fn bench_slab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slab");
+    g.bench_function("alloc_write_free_cycle", |b| {
+        let mut pool = SlabPool::new(SlabConfig::with_mem(8 << 20));
+        let class = pool.class_for(1024).expect("class");
+        b.iter(|| {
+            let id = pool.try_alloc(class).expect("alloc");
+            pool.write_item(id, b"bench-key", &[7u8; 900], 0, 0);
+            pool.free_chunk(id);
+            black_box(id)
+        })
+    });
+    g.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert_touch_pop", |b| {
+        let mut lru: LruMap<u64, ()> = LruMap::new();
+        for i in 0..10_000u64 {
+            lru.insert(i, ());
+        }
+        let mut i = 10_000u64;
+        b.iter(|| {
+            lru.insert(i, ());
+            lru.touch(&(i / 2));
+            lru.pop_lru();
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+fn bench_proto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proto");
+    for size in [64usize, 4 << 10, 32 << 10] {
+        let req = Request::Set {
+            req_id: 42,
+            flavor: ApiFlavor::NonBlockingI,
+            mode: SetMode::Set,
+            flags: 7,
+            expire_at_ns: 0,
+            key: Bytes::from_static(b"bench-key-000001"),
+            value: Bytes::from(vec![9u8; size]),
+        };
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("set_encode", size), &req, |b, req| {
+            b.iter(|| black_box(req.encode()))
+        });
+        let wire = req.encode();
+        g.bench_with_input(BenchmarkId::new("set_decode", size), &wire, |b, wire| {
+            b.iter(|| black_box(Request::decode(wire).expect("decode")))
+        });
+        let resp = Response::Get {
+            req_id: 42,
+            status: nbkv_core::proto::OpStatus::Hit,
+            stages: Default::default(),
+            flags: 0,
+            cas: 1,
+            value: Some(Bytes::from(vec![9u8; size])),
+        };
+        g.bench_with_input(BenchmarkId::new("get_resp_roundtrip", size), &resp, |b, resp| {
+            b.iter(|| {
+                let wire = resp.encode();
+                black_box(Response::decode(&wire).expect("decode"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    let zipf = Zipf::new(100_000, 0.99);
+    let mut rng = StdRng::seed_from_u64(3);
+    g.bench_function("zipf_sample_100k_ranks", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    let ring = Ring::new(16);
+    g.bench_function("ring_select_16_servers", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ring.select(format!("user{i:012}").as_bytes()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_executor, bench_slab, bench_lru, bench_proto, bench_workload_gen
+);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerate every table and figure in sequence.
+
+type FigureFn = fn() -> Vec<nbkv_bench::table::Table>;
+
+fn main() {
+    nbkv_bench::figs::banner("all");
+    let figures: Vec<(&str, FigureFn)> = vec![
+        ("table1", nbkv_bench::figs::table1::run),
+        ("fig1", nbkv_bench::figs::fig1::run),
+        ("fig2", nbkv_bench::figs::fig2::run),
+        ("fig4", nbkv_bench::figs::fig4::run),
+        ("fig6", nbkv_bench::figs::fig6::run),
+        ("fig7a", nbkv_bench::figs::fig7a::run),
+        ("fig7b", nbkv_bench::figs::fig7b::run),
+        ("fig7c", nbkv_bench::figs::fig7c::run),
+        ("fig8a", nbkv_bench::figs::fig8a::run),
+        ("fig8b", nbkv_bench::figs::fig8b::run),
+    ];
+    for (name, run) in figures {
+        eprintln!("[all] running {name} ...");
+        for t in run() {
+            t.emit();
+        }
+    }
+}

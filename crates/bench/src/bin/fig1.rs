@@ -1,0 +1,8 @@
+//! Regenerate fig1 of the paper.
+
+fn main() {
+    nbkv_bench::figs::banner("fig1");
+    for t in nbkv_bench::figs::fig1::run() {
+        t.emit();
+    }
+}

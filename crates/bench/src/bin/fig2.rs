@@ -1,0 +1,8 @@
+//! Regenerate fig2 of the paper.
+
+fn main() {
+    nbkv_bench::figs::banner("fig2");
+    for t in nbkv_bench::figs::fig2::run() {
+        t.emit();
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate fig4 of the paper.
+
+fn main() {
+    nbkv_bench::figs::banner("fig4");
+    for t in nbkv_bench::figs::fig4::run() {
+        t.emit();
+    }
+}

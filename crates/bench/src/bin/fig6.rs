@@ -1,0 +1,8 @@
+//! Regenerate fig6 of the paper.
+
+fn main() {
+    nbkv_bench::figs::banner("fig6");
+    for t in nbkv_bench::figs::fig6::run() {
+        t.emit();
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate fig7a of the paper.
+
+fn main() {
+    nbkv_bench::figs::banner("fig7a");
+    for t in nbkv_bench::figs::fig7a::run() {
+        t.emit();
+    }
+}

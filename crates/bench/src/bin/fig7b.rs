@@ -1,0 +1,8 @@
+//! Regenerate fig7b of the paper.
+
+fn main() {
+    nbkv_bench::figs::banner("fig7b");
+    for t in nbkv_bench::figs::fig7b::run() {
+        t.emit();
+    }
+}

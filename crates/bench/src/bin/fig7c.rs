@@ -1,0 +1,8 @@
+//! Regenerate fig7c of the paper.
+
+fn main() {
+    nbkv_bench::figs::banner("fig7c");
+    for t in nbkv_bench::figs::fig7c::run() {
+        t.emit();
+    }
+}

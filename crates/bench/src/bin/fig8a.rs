@@ -1,0 +1,8 @@
+//! Regenerate fig8a of the paper.
+
+fn main() {
+    nbkv_bench::figs::banner("fig8a");
+    for t in nbkv_bench::figs::fig8a::run() {
+        t.emit();
+    }
+}

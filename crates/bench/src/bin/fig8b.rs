@@ -1,0 +1,8 @@
+//! Regenerate fig8b of the paper.
+
+fn main() {
+    nbkv_bench::figs::banner("fig8b");
+    for t in nbkv_bench::figs::fig8b::run() {
+        t.emit();
+    }
+}

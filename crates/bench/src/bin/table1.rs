@@ -1,0 +1,8 @@
+//! Regenerate table1 of the paper.
+
+fn main() {
+    nbkv_bench::figs::banner("table1");
+    for t in nbkv_bench::figs::table1::run() {
+        t.emit();
+    }
+}

@@ -1,0 +1,176 @@
+//! Experiment scaffolding shared by all figure harnesses.
+
+use std::rc::Rc;
+
+use nbkv_core::cluster::{build_cluster, Cluster, ClusterConfig};
+use nbkv_core::designs::Design;
+use nbkv_simrt::{join_all, Sim};
+use nbkv_storesim::DeviceProfile;
+use nbkv_workload::{preload, run_workload, AccessPattern, OpMix, RunReport, WorkloadSpec};
+
+/// Global experiment scale factor.
+///
+/// `1.0` = the paper's sizes (1 GB server memory, 1.5 GB data, ...).
+/// Scaled down, all size ratios (data:memory, SSD:memory) are preserved, so
+/// the *shape* of every result is unchanged while runs stay quick. Set via
+/// the `NBKV_SCALE` environment variable; default 0.25.
+pub fn scale_factor() -> f64 {
+    std::env::var("NBKV_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&f| f > 0.0)
+        .unwrap_or(0.25)
+}
+
+/// Scale a byte quantity, keeping 1 MiB granularity (slab pages).
+pub fn scaled_bytes(full: u64) -> u64 {
+    let b = (full as f64 * scale_factor()) as u64;
+    (b / (1 << 20)).max(2) * (1 << 20)
+}
+
+/// Scale an operation count (with a floor so statistics stay meaningful).
+pub fn scaled_ops(full: usize) -> usize {
+    ((full as f64 * scale_factor()) as usize).max(500)
+}
+
+/// One latency/throughput experiment: an isolated simulation with one
+/// cluster, preloaded, then measured.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyExp {
+    /// Design under test.
+    pub design: Design,
+    /// RAM slab budget per server.
+    pub mem_bytes: u64,
+    /// Total preloaded data.
+    pub data_bytes: u64,
+    /// Value size.
+    pub value_len: usize,
+    /// Measured operations per client.
+    pub ops_per_client: usize,
+    /// Read:write mix.
+    pub mix: OpMix,
+    /// SSD profile for hybrid designs.
+    pub device: DeviceProfile,
+    /// Servers in the cluster.
+    pub servers: usize,
+    /// Concurrent measured clients.
+    pub clients: usize,
+    /// Non-blocking window per client.
+    pub window: usize,
+    /// Per-server SSD capacity.
+    pub ssd_capacity: u64,
+}
+
+impl LatencyExp {
+    /// Single-server, single-client experiment in the paper's default
+    /// shape (32 KiB values, Zipf 0.99, SATA SSD).
+    pub fn single(design: Design, mem_bytes: u64, data_bytes: u64) -> Self {
+        LatencyExp {
+            design,
+            mem_bytes,
+            data_bytes,
+            value_len: 32 << 10,
+            ops_per_client: scaled_ops(4000),
+            mix: OpMix::WRITE_HEAVY,
+            device: nbkv_storesim::sata_ssd(),
+            servers: 1,
+            clients: 1,
+            window: 64,
+            ssd_capacity: 16 * mem_bytes,
+        }
+    }
+
+    fn cluster_config(&self) -> ClusterConfig {
+        let mut cfg = ClusterConfig::new(self.design, self.mem_bytes);
+        cfg.servers = self.servers;
+        cfg.clients = self.clients;
+        cfg.device = self.device;
+        cfg.ssd_capacity = self.ssd_capacity;
+        cfg
+    }
+
+    /// Number of distinct keys.
+    pub fn keys(&self) -> usize {
+        (self.data_bytes / self.value_len as u64).max(1) as usize
+    }
+
+    /// Build, preload, run, and merge per-client reports.
+    pub fn run(&self) -> RunReport {
+        let sim = Sim::new();
+        let cluster: Cluster = build_cluster(&sim, &self.cluster_config());
+        let keys = self.keys();
+        let value_len = self.value_len;
+        let spec_template = WorkloadSpec {
+            keys,
+            value_len,
+            pattern: AccessPattern::Zipf(0.99),
+            mix: self.mix,
+            ops: self.ops_per_client,
+            flavor: self.design.flavor(),
+            window: self.window,
+            seed: 42,
+            miss_penalty: nbkv_workload::BackendDb::default_penalty(),
+            recache_on_miss: true,
+        };
+        let clients: Vec<_> = cluster.clients.iter().map(Rc::clone).collect();
+        let sim2 = sim.clone();
+        let report = sim.run_until(async move {
+            // Preload through the first client (not measured).
+            preload(&clients[0], keys, value_len).await;
+            // Measured phase: all clients run concurrently.
+            let tasks: Vec<_> = clients
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let c = Rc::clone(c);
+                    let sim = sim2.clone();
+                    let mut spec = spec_template;
+                    spec.seed = 42 + i as u64 * 1001;
+                    async move { run_workload(&sim, &c, &spec).await }
+                })
+                .collect();
+            let reports = join_all(tasks).await;
+            RunReport::merge(&reports)
+        });
+        // Break the world->task->server->Sim reference cycle so repeated
+        // experiments in one process release their memory.
+        sim.shutdown();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_bytes_keeps_mib_granularity() {
+        std::env::remove_var("NBKV_SCALE");
+        let b = scaled_bytes(1 << 30);
+        assert_eq!(b % (1 << 20), 0);
+        assert!(b >= 2 << 20);
+    }
+
+    #[test]
+    fn single_experiment_runs_and_reports() {
+        let exp = LatencyExp {
+            ops_per_client: 200,
+            ..LatencyExp::single(Design::RdmaMem, 16 << 20, 8 << 20)
+        };
+        let report = exp.run();
+        assert_eq!(report.ops, 200);
+        assert!(report.mean_latency_ns > 0);
+        assert_eq!(report.misses, 0, "data fits in memory");
+    }
+
+    #[test]
+    fn multi_client_reports_merge() {
+        let mut exp = LatencyExp::single(Design::HRdmaOptNonBI, 16 << 20, 8 << 20);
+        exp.clients = 3;
+        exp.ops_per_client = 100;
+        exp.value_len = 8 << 10;
+        let report = exp.run();
+        assert_eq!(report.ops, 300);
+        assert!(report.throughput_ops_per_sec() > 0.0);
+    }
+}

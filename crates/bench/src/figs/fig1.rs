@@ -1,0 +1,74 @@
+//! Figure 1 — overall Set/Get latency of the pre-existing designs, with
+//! data fitting (a) and not fitting (b) in memory.
+//!
+//! Paper setup: one server, one client, 32 KiB key-value pairs, Zipf
+//! requests; (a) 1 GB preload with sufficient memory, (b) 1.5 GB preload
+//! into 1 GB of memory with a < 2 ms backend miss penalty.
+
+use nbkv_core::designs::Design;
+use nbkv_workload::RunReport;
+
+use crate::exp::{scaled_bytes, LatencyExp};
+use crate::table::{ratio, us, us_f, Table};
+
+const DESIGNS: [Design; 3] = [Design::IpoibMem, Design::RdmaMem, Design::HRdmaDef];
+
+/// Run one Figure-1 case for a design.
+pub fn run_case(design: Design, fits: bool) -> RunReport {
+    let mem = scaled_bytes(1 << 30);
+    let (mem_bytes, data_bytes) = if fits {
+        // "All data fits": preload 1 GB with memory to spare.
+        (mem + mem / 2, mem)
+    } else {
+        // "Does not fit": 1.5 GB of data into 1 GB of memory.
+        (mem, mem + mem / 2)
+    };
+    LatencyExp::single(design, mem_bytes, data_bytes).run()
+}
+
+fn case_table(id: &str, title: &str, fits: bool) -> Table {
+    let mut t = Table::new(
+        id,
+        title,
+        &["design", "avg latency (us)", "p99 (us)", "miss %", "ssd-hit %", "miss-penalty share (us)"],
+    );
+    let mut lat: Vec<(Design, f64)> = Vec::new();
+    for design in DESIGNS {
+        let r = run_case(design, fits);
+        let gets = (r.hits + r.misses).max(1);
+        lat.push((design, r.mean_latency_ns as f64));
+        t.row(vec![
+            design.label().to_string(),
+            us(r.mean_latency_ns),
+            us(r.p99_latency_ns),
+            format!("{:.1}", 100.0 * r.misses as f64 / gets as f64),
+            format!("{:.1}", 100.0 * r.ssd_hits as f64 / gets as f64),
+            us_f(r.breakdown.miss_penalty_ns),
+        ]);
+    }
+    let by = |d: Design| lat.iter().find(|(x, _)| *x == d).expect("ran").1;
+    if fits {
+        t.note(format!(
+            "paper Fig 1(a): RDMA designs beat IPoIB-Mem when data fits; measured IPoIB/RDMA-Mem = {}",
+            ratio(by(Design::IpoibMem), by(Design::RdmaMem))
+        ));
+        t.note(format!(
+            "H-RDMA-Def ~= RDMA-Mem when data fits; measured Def/RDMA-Mem = {}",
+            ratio(by(Design::HRdmaDef), by(Design::RdmaMem))
+        ));
+    } else {
+        t.note(format!(
+            "paper Fig 1(b): hybrid H-RDMA-Def beats the in-memory designs under miss penalty; measured RDMA-Mem/Def = {}",
+            ratio(by(Design::RdmaMem), by(Design::HRdmaDef))
+        ));
+    }
+    t
+}
+
+/// Regenerate both panels.
+pub fn run() -> Vec<Table> {
+    vec![
+        case_table("fig1a", "Set/Get latency, data fits in memory", true),
+        case_table("fig1b", "Set/Get latency, data does NOT fit (2 ms miss penalty)", false),
+    ]
+}

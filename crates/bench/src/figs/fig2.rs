@@ -1,0 +1,54 @@
+//! Figure 2 — six-stage time-wise breakdown of Set/Get latency for the
+//! pre-existing designs (the bottleneck analysis of Section III).
+
+use nbkv_core::designs::Design;
+
+use crate::figs::fig1::run_case;
+use crate::table::{us_f, Table};
+
+const DESIGNS: [Design; 3] = [Design::IpoibMem, Design::RdmaMem, Design::HRdmaDef];
+
+fn case_table(id: &str, title: &str, fits: bool) -> Table {
+    let mut t = Table::new(
+        id,
+        title,
+        &[
+            "design",
+            "slab alloc (us)",
+            "check+load (us)",
+            "cache update (us)",
+            "server resp (us)",
+            "client wait (us)",
+            "miss penalty (us)",
+            "total (us)",
+        ],
+    );
+    for design in DESIGNS {
+        let r = run_case(design, fits);
+        let b = r.breakdown;
+        t.row(vec![
+            design.label().to_string(),
+            us_f(b.slab_alloc_ns),
+            us_f(b.check_load_ns),
+            us_f(b.cache_update_ns),
+            us_f(b.response_ns),
+            us_f(b.client_wait_ns),
+            us_f(b.miss_penalty_ns),
+            us_f(b.total_ns()),
+        ]);
+    }
+    if fits {
+        t.note("paper Fig 2(a): network dominates when data fits — client wait + server response are the big stages.");
+    } else {
+        t.note("paper Fig 2(b): miss penalty dominates the in-memory designs; SSD I/O (slab alloc + check/load) dominates H-RDMA-Def.");
+    }
+    t
+}
+
+/// Regenerate both panels.
+pub fn run() -> Vec<Table> {
+    vec![
+        case_table("fig2a", "Stage breakdown, data fits in memory", true),
+        case_table("fig2b", "Stage breakdown, data does NOT fit", false),
+    ]
+}

@@ -1,0 +1,27 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Each `run()` returns [`crate::table::Table`]s that print the same rows
+//! or series the paper reports, at the scale chosen by `NBKV_SCALE`
+//! (see [`crate::exp::scale_factor`]). Expected shapes from the paper are
+//! attached as table notes so a reader can eyeball paper-vs-measured.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7a;
+pub mod fig7b;
+pub mod fig7c;
+pub mod fig8a;
+pub mod fig8b;
+pub mod table1;
+
+use crate::exp::scale_factor;
+
+/// Print the standard harness banner.
+pub fn banner(id: &str) {
+    println!(
+        "# nbkv reproduction harness — {id} (scale {:.2}, set NBKV_SCALE=1 for paper scale)\n",
+        scale_factor()
+    );
+}

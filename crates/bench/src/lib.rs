@@ -1,0 +1,15 @@
+//! # nbkv-bench — figure/table regeneration harness
+//!
+//! One binary per table/figure of the paper's evaluation (`table1`,
+//! `fig1` … `fig8b`, plus `all`); each prints the same rows/series the
+//! paper reports as markdown, persists JSON under `results/`, and attaches
+//! the paper's expected shape as notes.
+//!
+//! Scale is controlled by `NBKV_SCALE` (1.0 = the paper's sizes; default
+//! 0.25 keeps every run quick while preserving all size *ratios*).
+
+#![warn(missing_docs)]
+
+pub mod exp;
+pub mod figs;
+pub mod table;

@@ -1,0 +1,10 @@
+//! The client library (libmemcached equivalent) with the paper's
+//! non-blocking API extensions.
+
+pub mod request;
+pub mod ring;
+pub mod runtime;
+
+pub use request::{Completion, ReqHandle};
+pub use ring::Ring;
+pub use runtime::{Client, ClientConfig, ClientError, ClientStats};

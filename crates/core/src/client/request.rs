@@ -1,0 +1,168 @@
+//! Request handles: the Rust shape of the paper's `memcached_req`.
+//!
+//! Every issued operation returns a [`ReqHandle`] holding a completion
+//! flag, the eventual server response, and timing. [`ReqHandle::wait`] is
+//! `memcached_wait`; [`ReqHandle::test`] is `memcached_test`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nbkv_simrt::{Notify, Sim, SimTime};
+use std::time::Duration;
+
+use crate::proto::{OpStatus, Response, StageTimes};
+
+/// Outcome of a completed operation.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Operation status.
+    pub status: OpStatus,
+    /// Value for get hits.
+    pub value: Option<Bytes>,
+    /// Stored flags for get hits.
+    pub flags: u32,
+    /// CAS token for get hits (pass to [`crate::Client::cas`]).
+    pub cas: u64,
+    /// Counter value after incr/decr.
+    pub counter: u64,
+    /// Server-side stage breakdown.
+    pub stages: StageTimes,
+    /// When the request was issued (virtual time).
+    pub issued_at: SimTime,
+    /// When the response completed at the client (virtual time).
+    pub completed_at: SimTime,
+}
+
+impl Completion {
+    /// End-to-end latency in virtual nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.completed_at.saturating_since(self.issued_at).as_nanos() as u64
+    }
+
+    /// True if the operation found/stored what it asked for.
+    pub fn is_success(&self) -> bool {
+        matches!(self.status, OpStatus::Stored | OpStatus::Hit | OpStatus::Deleted)
+    }
+}
+
+pub(crate) struct ReqState {
+    pub(crate) done: bool,
+    pub(crate) response: Option<Response>,
+    pub(crate) notify: Notify,
+    pub(crate) issued_at: SimTime,
+    pub(crate) completed_at: Option<SimTime>,
+}
+
+impl ReqState {
+    pub(crate) fn new(issued_at: SimTime) -> Rc<RefCell<ReqState>> {
+        Rc::new(RefCell::new(ReqState {
+            done: false,
+            response: None,
+            notify: Notify::new(),
+            issued_at,
+            completed_at: None,
+        }))
+    }
+}
+
+/// Handle to an in-flight (or completed) request — the `memcached_req` of
+/// Listing 1.
+#[derive(Clone)]
+pub struct ReqHandle {
+    pub(crate) sim: Sim,
+    pub(crate) state: Rc<RefCell<ReqState>>,
+}
+
+impl ReqHandle {
+    /// True once the server's response has arrived.
+    pub fn is_done(&self) -> bool {
+        self.state.borrow().done
+    }
+
+    /// Non-blocking completion check (`memcached_test`): `Some` with the
+    /// outcome if complete, `None` if still in flight.
+    pub fn test(&self) -> Option<Completion> {
+        let s = self.state.borrow();
+        if s.done {
+            Some(build_completion(&s))
+        } else {
+            None
+        }
+    }
+
+    /// Wait for completion, giving up after `dur` of virtual time.
+    ///
+    /// Real memcached clients run with operation timeouts; a request to a
+    /// crashed or unreachable server would otherwise wait forever.
+    pub async fn wait_timeout(&self, dur: Duration) -> Result<Completion, nbkv_simrt::Elapsed> {
+        nbkv_simrt::timeout(&self.sim, dur, self.wait()).await
+    }
+
+    /// Wait (in virtual time) for completion (`memcached_wait`).
+    pub async fn wait(&self) -> Completion {
+        loop {
+            let notified = {
+                let s = self.state.borrow();
+                if s.done {
+                    return build_completion(&s);
+                }
+                s.notify.notified()
+            };
+            notified.await;
+        }
+    }
+}
+
+fn build_completion(s: &ReqState) -> Completion {
+    let completed_at = s.completed_at.expect("done implies completion time");
+    match s.response.as_ref().expect("done implies response") {
+        Response::Set { status, stages, .. } => Completion {
+            status: *status,
+            value: None,
+            flags: 0,
+            cas: 0,
+            counter: 0,
+            stages: *stages,
+            issued_at: s.issued_at,
+            completed_at,
+        },
+        Response::Get {
+            status,
+            stages,
+            flags,
+            cas,
+            value,
+            ..
+        } => Completion {
+            status: *status,
+            value: value.clone(),
+            flags: *flags,
+            cas: *cas,
+            counter: 0,
+            stages: *stages,
+            issued_at: s.issued_at,
+            completed_at,
+        },
+        Response::Delete { status, stages, .. } => Completion {
+            status: *status,
+            value: None,
+            flags: 0,
+            cas: 0,
+            counter: 0,
+            stages: *stages,
+            issued_at: s.issued_at,
+            completed_at,
+        },
+        Response::Counter { status, stages, value, .. } => Completion {
+            status: *status,
+            value: None,
+            flags: 0,
+            cas: 0,
+            counter: *value,
+            stages: *stages,
+            issued_at: s.issued_at,
+            completed_at,
+        },
+    }
+}

@@ -1,0 +1,99 @@
+//! Key-to-server selection: a ketama-style consistent-hash ring.
+
+use crate::util::{fnv1a, mix64};
+
+const VNODES_PER_SERVER: u32 = 64;
+
+/// A consistent-hash ring over `n` servers.
+///
+/// Both the client library and test harnesses use this, so a key always
+/// lands on the same server regardless of who computes the mapping.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted (point, server) pairs.
+    points: Vec<(u64, u16)>,
+    servers: usize,
+}
+
+impl Ring {
+    /// Build a ring over `servers` servers (must be nonzero).
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "ring needs at least one server");
+        assert!(servers <= u16::MAX as usize);
+        let mut points = Vec::with_capacity(servers * VNODES_PER_SERVER as usize);
+        for s in 0..servers {
+            for v in 0..VNODES_PER_SERVER {
+                let label = format!("server-{s}:vnode-{v}");
+                points.push((mix64(fnv1a(label.as_bytes())), s as u16));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, servers }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// The server responsible for `key`.
+    pub fn select(&self, key: &[u8]) -> usize {
+        let h = mix64(fnv1a(key));
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, server) = self.points[idx % self.points.len()];
+        server as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_gets_everything() {
+        let ring = Ring::new(1);
+        for i in 0..100 {
+            assert_eq!(ring.select(format!("k{i}").as_bytes()), 0);
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let a = Ring::new(4);
+        let b = Ring::new(4);
+        for i in 0..1000 {
+            let k = format!("key-{i}");
+            assert_eq!(a.select(k.as_bytes()), b.select(k.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_even() {
+        let ring = Ring::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..40_000 {
+            counts[ring.select(format!("key-{i:06}").as_bytes())] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (4_000..=20_000).contains(&c),
+                "server {s} got {c}/40000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_server_remaps_only_a_fraction() {
+        let before = Ring::new(4);
+        let after = Ring::new(5);
+        let moved = (0..10_000)
+            .filter(|i| {
+                let k = format!("key-{i}");
+                before.select(k.as_bytes()) != after.select(k.as_bytes())
+            })
+            .count();
+        // Consistent hashing: ~1/5 of keys move, far from all of them.
+        assert!(moved < 5_000, "{moved}/10000 keys moved");
+        assert!(moved > 500, "{moved}/10000 keys moved (suspiciously few)");
+    }
+}

@@ -1,0 +1,542 @@
+//! The client library: blocking `set`/`get`/`delete` plus the paper's
+//! non-blocking extensions `iset`/`iget`/`bset`/`bget`.
+//!
+//! ## Issue/completion split
+//!
+//! Every operation is issued to the RDMA engine and completed by a
+//! background *progress task* (one per connection) that matches responses
+//! to outstanding [`ReqHandle`]s — the "underlying communication engine
+//! completes the request in the background" of Section V-A.
+//!
+//! ## Buffer-reuse semantics and their costs
+//!
+//! - `iset`/`iget` return as soon as the request descriptor is posted;
+//!   the NIC may still be reading the key/value buffers (in Rust this is
+//!   safe because the library holds `Bytes` clones, but the *cost* model
+//!   matches the C semantics: no wait at all).
+//! - `bset`/`bget` additionally wait for the local send completion
+//!   (`SendTicket::wait_sent`) — the instant the NIC has finished reading
+//!   the buffers and the caller may reuse them. For a large value this is
+//!   the link serialization time, which is why write-heavy `bset`
+//!   workloads show little overlap (Figure 7a).
+//! - All flavours charge memory-registration costs through an [`MrCache`]:
+//!   first use of a buffer pays `ibv_reg_mr`, reuse is free.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use nbkv_fabric::{MrCache, Transport, TransportRx, TransportTx};
+use nbkv_simrt::{Semaphore, Sim};
+
+use crate::client::request::{Completion, ReqHandle, ReqState};
+use crate::client::ring::Ring;
+use crate::costs::CpuCosts;
+use crate::proto::{ApiFlavor, Request, Response, SetMode};
+
+/// Client configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Maximum outstanding requests (models send-queue depth).
+    pub max_outstanding: usize,
+    /// CPU cost model.
+    pub costs: CpuCosts,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_outstanding: 1024,
+            costs: CpuCosts::default_costs(),
+        }
+    }
+}
+
+/// Buffers at or below this size are copied into pre-registered
+/// communication buffers (like RDMA-Memcached's inline send path);
+/// larger buffers go zero-copy and pay registration on first use.
+pub const INLINE_THRESHOLD: usize = 4 << 10;
+
+/// Client-side error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientError {
+    /// The connection to the selected server is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Disconnected => write!(f, "server disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Client counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests issued.
+    pub issued: u64,
+    /// Responses completed.
+    pub completed: u64,
+    /// Responses that arrived with no matching request (late/duplicate).
+    pub orphans: u64,
+}
+
+type Pending = Rc<RefCell<HashMap<u64, Rc<RefCell<ReqState>>>>>;
+
+/// A Memcached client bound to one or more servers.
+pub struct Client {
+    sim: Sim,
+    cfg: ClientConfig,
+    txs: Vec<TransportTx>,
+    ring: Ring,
+    pending: Pending,
+    next_id: Cell<u64>,
+    mr: MrCache,
+    window: Rc<Semaphore>,
+    stats: Rc<RefCell<ClientStats>>,
+}
+
+impl Client {
+    /// Build a client over connected transports (one per server) and spawn
+    /// a progress task per connection.
+    pub fn new(sim: &Sim, transports: Vec<Transport>, cfg: ClientConfig) -> Rc<Client> {
+        assert!(!transports.is_empty(), "client needs at least one server");
+        let profile = *transports[0].profile();
+        let pending: Pending = Rc::new(RefCell::new(HashMap::new()));
+        let window = Rc::new(Semaphore::new(cfg.max_outstanding));
+        let stats = Rc::new(RefCell::new(ClientStats::default()));
+        let mut txs = Vec::with_capacity(transports.len());
+        for t in transports {
+            let (tx, rx) = t.split();
+            txs.push(tx);
+            let task = ProgressTask {
+                sim: sim.clone(),
+                rx,
+                pending: Rc::clone(&pending),
+                window: Rc::clone(&window),
+                stats: Rc::clone(&stats),
+                costs: cfg.costs,
+            };
+            sim.spawn(task.run());
+        }
+        let ring = Ring::new(txs.len());
+        Rc::new(Client {
+            sim: sim.clone(),
+            cfg,
+            txs,
+            ring,
+            pending,
+            next_id: Cell::new(1),
+            mr: MrCache::new(sim.clone(), profile),
+            window,
+            stats,
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ClientStats {
+        *self.stats.borrow()
+    }
+
+    /// A handle to the simulation this client runs in.
+    pub fn sim_handle(&self) -> Sim {
+        self.sim.clone()
+    }
+
+    /// Registration-cache statistics (hits mean buffer reuse paid off).
+    pub fn mr_stats(&self) -> nbkv_fabric::MrStats {
+        self.mr.stats()
+    }
+
+    /// Requests currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.pending.borrow().len()
+    }
+
+    /// Prepare a user buffer for transmission: small buffers are copied
+    /// into a pre-registered comm buffer (memcpy cost); large buffers are
+    /// sent zero-copy after (cached) memory registration.
+    async fn prepare_buffer(&self, buf: &Bytes) {
+        if buf.len() <= INLINE_THRESHOLD {
+            let cost = self.cfg.costs.memcpy(buf.len());
+            if !cost.is_zero() {
+                self.sim.sleep(cost).await;
+            }
+        } else {
+            self.mr.ensure_registered(buf).await;
+        }
+    }
+
+    // -- the paper's API surface (Listing 1) -------------------------------
+
+    /// Non-blocking set, no buffer-reuse guarantee (`memcached_iset`).
+    pub async fn iset(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire: Option<Duration>,
+    ) -> Result<ReqHandle, ClientError> {
+        self.prepare_buffer(&key).await;
+        self.prepare_buffer(&value).await;
+        self.issue_set(key, value, flags, expire, ApiFlavor::NonBlockingI, false, SetMode::Set)
+            .await
+    }
+
+    /// Non-blocking set that returns once the key/value buffers are
+    /// reusable (`memcached_bset`).
+    pub async fn bset(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire: Option<Duration>,
+    ) -> Result<ReqHandle, ClientError> {
+        self.prepare_buffer(&key).await;
+        self.prepare_buffer(&value).await;
+        self.issue_set(key, value, flags, expire, ApiFlavor::NonBlockingB, true, SetMode::Set)
+            .await
+    }
+
+    /// Non-blocking get, no buffer-reuse guarantee (`memcached_iget`).
+    pub async fn iget(&self, key: Bytes) -> Result<ReqHandle, ClientError> {
+        self.prepare_buffer(&key).await;
+        self.issue_keyed(key, ApiFlavor::NonBlockingI, false, RequestKind::Get)
+            .await
+    }
+
+    /// Non-blocking get that returns once the key buffer is reusable
+    /// (`memcached_bget`).
+    pub async fn bget(&self, key: Bytes) -> Result<ReqHandle, ClientError> {
+        self.prepare_buffer(&key).await;
+        self.issue_keyed(key, ApiFlavor::NonBlockingB, true, RequestKind::Get)
+            .await
+    }
+
+    /// Blocking set (`memcached_set`): issue and wait for the response.
+    pub async fn set(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire: Option<Duration>,
+    ) -> Result<Completion, ClientError> {
+        self.prepare_buffer(&key).await;
+        self.prepare_buffer(&value).await;
+        let h = self
+            .issue_set(key, value, flags, expire, ApiFlavor::Block, false, SetMode::Set)
+            .await?;
+        Ok(h.wait().await)
+    }
+
+    /// Blocking get (`memcached_get`).
+    pub async fn get(&self, key: Bytes) -> Result<Completion, ClientError> {
+        self.mr.ensure_registered(&key).await;
+        let h = self
+            .issue_keyed(key, ApiFlavor::Block, false, RequestKind::Get)
+            .await?;
+        Ok(h.wait().await)
+    }
+
+    /// Blocking delete.
+    pub async fn delete(&self, key: Bytes) -> Result<Completion, ClientError> {
+        self.mr.ensure_registered(&key).await;
+        let h = self
+            .issue_keyed(key, ApiFlavor::Block, false, RequestKind::Delete)
+            .await?;
+        Ok(h.wait().await)
+    }
+
+    /// Store only if the key is absent (memcached `add`). Fails with
+    /// [`crate::OpStatus::Exists`] when the key is live.
+    pub async fn add(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire: Option<Duration>,
+    ) -> Result<Completion, ClientError> {
+        self.conditional_store(SetMode::Add, key, value, flags, expire).await
+    }
+
+    /// Store only if the key is present (memcached `replace`).
+    pub async fn replace(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire: Option<Duration>,
+    ) -> Result<Completion, ClientError> {
+        self.conditional_store(SetMode::Replace, key, value, flags, expire).await
+    }
+
+    /// Compare-and-swap: store only if the entry's CAS token (from a get's
+    /// [`Completion::cas`]) is unchanged.
+    pub async fn cas(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire: Option<Duration>,
+        cas: u64,
+    ) -> Result<Completion, ClientError> {
+        self.conditional_store(SetMode::Cas(cas), key, value, flags, expire).await
+    }
+
+    /// Append bytes to an existing value (keeps its flags and expiry).
+    pub async fn append(&self, key: Bytes, value: Bytes) -> Result<Completion, ClientError> {
+        self.conditional_store(SetMode::Append, key, value, 0, None).await
+    }
+
+    /// Prepend bytes to an existing value.
+    pub async fn prepend(&self, key: Bytes, value: Bytes) -> Result<Completion, ClientError> {
+        self.conditional_store(SetMode::Prepend, key, value, 0, None).await
+    }
+
+    /// Increment a decimal counter value (memcached `incr`); returns the
+    /// new value in [`Completion::counter`].
+    pub async fn incr(&self, key: Bytes, delta: u64) -> Result<Completion, ClientError> {
+        self.counter_op(key, delta, false).await
+    }
+
+    /// Decrement a decimal counter value, clamped at zero (memcached
+    /// `decr`).
+    pub async fn decr(&self, key: Bytes, delta: u64) -> Result<Completion, ClientError> {
+        self.counter_op(key, delta, true).await
+    }
+
+    /// Update an entry's expiry without resending the value (memcached
+    /// `touch`). `None` removes the expiry.
+    pub async fn touch(
+        &self,
+        key: Bytes,
+        expire: Option<Duration>,
+    ) -> Result<Completion, ClientError> {
+        self.prepare_buffer(&key).await;
+        let expire_at_ns = expire.map_or(0, |d| (self.sim.now() + d).as_nanos());
+        let server = self.ring.select(&key);
+        let req_id = self.alloc_req_id();
+        let req = Request::Touch {
+            req_id,
+            flavor: ApiFlavor::Block,
+            key,
+            expire_at_ns,
+        };
+        let h = self.post(server, req, false).await?;
+        Ok(h.wait().await)
+    }
+
+    /// Fetch a full observability snapshot from server `server_idx`
+    /// (memcached's `stats` command).
+    pub async fn server_stats(
+        &self,
+        server_idx: usize,
+    ) -> Result<crate::server::StatsSnapshot, ClientError> {
+        assert!(server_idx < self.txs.len(), "no such server");
+        let req_id = self.alloc_req_id();
+        let req = Request::Stats {
+            req_id,
+            flavor: ApiFlavor::Block,
+        };
+        let h = self.post(server_idx, req, false).await?;
+        let done = h.wait().await;
+        let payload = done.value.expect("stats response carries JSON");
+        Ok(serde_json::from_slice(&payload).expect("stats JSON parses"))
+    }
+
+    /// Batch get: issue non-blocking gets for every key, wait for all,
+    /// return completions in key order (memcached `get_multi`).
+    pub async fn get_multi(&self, keys: Vec<Bytes>) -> Result<Vec<Completion>, ClientError> {
+        let mut handles = Vec::with_capacity(keys.len());
+        for key in keys {
+            handles.push(self.iget(key).await?);
+        }
+        Ok(self.wait_all(&handles).await)
+    }
+
+    async fn conditional_store(
+        &self,
+        mode: SetMode,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire: Option<Duration>,
+    ) -> Result<Completion, ClientError> {
+        self.prepare_buffer(&key).await;
+        self.prepare_buffer(&value).await;
+        let h = self
+            .issue_set(key, value, flags, expire, ApiFlavor::Block, false, mode)
+            .await?;
+        Ok(h.wait().await)
+    }
+
+    async fn counter_op(
+        &self,
+        key: Bytes,
+        delta: u64,
+        negative: bool,
+    ) -> Result<Completion, ClientError> {
+        self.prepare_buffer(&key).await;
+        let server = self.ring.select(&key);
+        let req_id = self.alloc_req_id();
+        let req = Request::Counter {
+            req_id,
+            flavor: ApiFlavor::Block,
+            key,
+            delta,
+            negative,
+        };
+        let h = self.post(server, req, false).await?;
+        Ok(h.wait().await)
+    }
+
+    /// Wait for a batch of handles (the end-of-block `memcached_wait` of
+    /// the bursty I/O pattern in Listing 2).
+    pub async fn wait_all(&self, handles: &[ReqHandle]) -> Vec<Completion> {
+        let mut out = Vec::with_capacity(handles.len());
+        for h in handles {
+            out.push(h.wait().await);
+        }
+        out
+    }
+
+    // -- issue path ---------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    async fn issue_set(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire: Option<Duration>,
+        flavor: ApiFlavor,
+        wait_sent: bool,
+        mode: SetMode,
+    ) -> Result<ReqHandle, ClientError> {
+        let expire_at_ns = expire.map_or(0, |d| (self.sim.now() + d).as_nanos());
+        let server = self.ring.select(&key);
+        let req_id = self.alloc_req_id();
+        let req = Request::Set {
+            req_id,
+            flavor,
+            mode,
+            flags,
+            expire_at_ns,
+            key,
+            value,
+        };
+        self.post(server, req, wait_sent).await
+    }
+
+    async fn issue_keyed(
+        &self,
+        key: Bytes,
+        flavor: ApiFlavor,
+        wait_sent: bool,
+        kind: RequestKind,
+    ) -> Result<ReqHandle, ClientError> {
+        let server = self.ring.select(&key);
+        let req_id = self.alloc_req_id();
+        let req = match kind {
+            RequestKind::Get => Request::Get { req_id, flavor, key },
+            RequestKind::Delete => Request::Delete { req_id, flavor, key },
+        };
+        self.post(server, req, wait_sent).await
+    }
+
+    async fn post(
+        &self,
+        server: usize,
+        req: Request,
+        wait_sent: bool,
+    ) -> Result<ReqHandle, ClientError> {
+        if !self.cfg.costs.client_issue.is_zero() {
+            self.sim.sleep(self.cfg.costs.client_issue).await;
+        }
+        // Send-queue depth: acquire a slot, released on completion.
+        self.window.acquire().await.forget();
+        let req_id = req.req_id();
+        let state = ReqState::new(self.sim.now());
+        self.pending.borrow_mut().insert(req_id, Rc::clone(&state));
+        self.stats.borrow_mut().issued += 1;
+
+        let payload = req.encode();
+        match self.txs[server].send(payload).await {
+            Ok(ticket) => {
+                if wait_sent {
+                    ticket.wait_sent().await;
+                }
+                Ok(ReqHandle {
+                    sim: self.sim.clone(),
+                    state,
+                })
+            }
+            Err(_) => {
+                self.pending.borrow_mut().remove(&req_id);
+                self.window.add_permits(1);
+                Err(ClientError::Disconnected)
+            }
+        }
+    }
+
+    fn alloc_req_id(&self) -> u64 {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        id
+    }
+}
+
+enum RequestKind {
+    Get,
+    Delete,
+}
+
+/// Per-connection completion engine.
+struct ProgressTask {
+    sim: Sim,
+    rx: TransportRx,
+    pending: Pending,
+    window: Rc<Semaphore>,
+    stats: Rc<RefCell<ClientStats>>,
+    costs: CpuCosts,
+}
+
+impl ProgressTask {
+    async fn run(self) {
+        while let Some(msg) = self.rx.recv().await {
+            let resp = match Response::decode(&msg) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            // Copy a fetched value into the user's buffer (iget semantics).
+            if let Response::Get { value: Some(v), .. } = &resp {
+                let cost = self.costs.memcpy(v.len());
+                if !cost.is_zero() {
+                    self.sim.sleep(cost).await;
+                }
+            }
+            let state = self.pending.borrow_mut().remove(&resp.req_id());
+            match state {
+                Some(state) => {
+                    let mut s = state.borrow_mut();
+                    s.response = Some(resp);
+                    s.done = true;
+                    s.completed_at = Some(self.sim.now());
+                    s.notify.notify_waiters();
+                    drop(s);
+                    self.window.add_permits(1);
+                    self.stats.borrow_mut().completed += 1;
+                }
+                None => {
+                    self.stats.borrow_mut().orphans += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Server/client CPU cost model.
+//!
+//! The simulation charges explicit virtual time for the host-side work the
+//! paper's profiling attributes to the Memcached process: request
+//! dispatch, hash-table probes, LRU maintenance, and item copies. Values
+//! are small (hundreds of nanoseconds to a few microseconds) and only
+//! matter when the network and SSD are fast.
+
+use std::time::Duration;
+
+/// CPU costs charged by the key-value store runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCosts {
+    /// Per-request dispatch/parse cost (the server's network phase).
+    pub dispatch: Duration,
+    /// One hash-table probe (hash + bucket walk).
+    pub hash: Duration,
+    /// One LRU touch/update.
+    pub lru: Duration,
+    /// Streaming copy cost per byte (item into slab chunk, value into
+    /// response).
+    pub memcpy_ns_per_byte: f64,
+    /// Client library bookkeeping per issued request.
+    pub client_issue: Duration,
+}
+
+impl CpuCosts {
+    /// Calibrated defaults (Haswell-era Xeon).
+    pub fn default_costs() -> Self {
+        CpuCosts {
+            dispatch: Duration::from_nanos(1_000),
+            hash: Duration::from_nanos(200),
+            lru: Duration::from_nanos(150),
+            memcpy_ns_per_byte: 0.10,
+            client_issue: Duration::from_nanos(400),
+        }
+    }
+
+    /// All-zero costs for logic tests.
+    pub fn zero() -> Self {
+        CpuCosts {
+            dispatch: Duration::ZERO,
+            hash: Duration::ZERO,
+            lru: Duration::ZERO,
+            memcpy_ns_per_byte: 0.0,
+            client_issue: Duration::ZERO,
+        }
+    }
+
+    /// Copy cost for `bytes`.
+    pub fn memcpy(&self, bytes: usize) -> Duration {
+        Duration::from_nanos((bytes as f64 * self.memcpy_ns_per_byte).round() as u64)
+    }
+
+    /// Uniformly scale all costs.
+    pub fn scaled(mut self, f: f64) -> Self {
+        let s = |d: Duration| Duration::from_nanos((d.as_nanos() as f64 * f).round() as u64);
+        self.dispatch = s(self.dispatch);
+        self.hash = s(self.hash);
+        self.lru = s(self.lru);
+        self.memcpy_ns_per_byte *= f;
+        self.client_issue = s(self.client_issue);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcpy_scales_linearly() {
+        let c = CpuCosts::default_costs();
+        assert_eq!(c.memcpy(0), Duration::ZERO);
+        let one_mb = c.memcpy(1 << 20);
+        assert!(one_mb > Duration::from_micros(50) && one_mb < Duration::from_micros(500));
+    }
+
+    #[test]
+    fn zero_is_free() {
+        let c = CpuCosts::zero();
+        assert_eq!(c.dispatch + c.hash + c.lru + c.client_issue, Duration::ZERO);
+        assert_eq!(c.memcpy(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn scaling_applies_everywhere() {
+        let c = CpuCosts::default_costs().scaled(2.0);
+        assert_eq!(c.dispatch, Duration::from_micros(2));
+        assert_eq!(c.memcpy(10), CpuCosts::default_costs().memcpy(20));
+    }
+}

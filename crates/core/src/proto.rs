@@ -1,0 +1,888 @@
+//! Wire protocol between the client library and the server.
+//!
+//! A compact binary framing (one message per request/response) in the
+//! spirit of the memcached binary protocol, extended with what the paper's
+//! design needs:
+//!
+//! - an [`ApiFlavor`] tag so the server can route non-blocking requests
+//!   through the decoupled memory/SSD pipeline (Section V-B1);
+//! - per-request [`StageTimes`] in every response, which is how the
+//!   time-wise breakdowns of Figures 2 and 6 are measured.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Which API family issued a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiFlavor {
+    /// Blocking `set`/`get`: the client waits for the full response.
+    Block,
+    /// `iset`/`iget`: issue returns immediately, no buffer-reuse guarantee.
+    NonBlockingI,
+    /// `bset`/`bget`: issue returns once the user buffers are reusable.
+    NonBlockingB,
+}
+
+impl ApiFlavor {
+    fn to_wire(self) -> u8 {
+        match self {
+            ApiFlavor::Block => 0,
+            ApiFlavor::NonBlockingI => 1,
+            ApiFlavor::NonBlockingB => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(ApiFlavor::Block),
+            1 => Ok(ApiFlavor::NonBlockingI),
+            2 => Ok(ApiFlavor::NonBlockingB),
+            _ => Err(ProtoError::BadFlavor(b)),
+        }
+    }
+
+    /// True for the non-blocking flavours (eligible for the server's
+    /// asynchronous memory phase).
+    pub fn is_nonblocking(self) -> bool {
+        !matches!(self, ApiFlavor::Block)
+    }
+}
+
+/// Result status of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpStatus {
+    /// Set stored the value.
+    Stored,
+    /// Get found the key.
+    Hit,
+    /// Get did not find the key (or it expired).
+    Miss,
+    /// Delete removed the key.
+    Deleted,
+    /// Delete found nothing to remove.
+    NotFound,
+    /// Conditional store failed: the key exists (add) or the CAS token
+    /// did not match.
+    Exists,
+    /// Conditional store failed: the key does not exist (replace/append/
+    /// prepend/incr on a missing key).
+    NotStored,
+    /// Server-side failure (e.g. out of hybrid capacity).
+    Error,
+}
+
+impl OpStatus {
+    fn to_wire(self) -> u8 {
+        match self {
+            OpStatus::Stored => 0,
+            OpStatus::Hit => 1,
+            OpStatus::Miss => 2,
+            OpStatus::Deleted => 3,
+            OpStatus::NotFound => 4,
+            OpStatus::Error => 5,
+            OpStatus::Exists => 6,
+            OpStatus::NotStored => 7,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => OpStatus::Stored,
+            1 => OpStatus::Hit,
+            2 => OpStatus::Miss,
+            3 => OpStatus::Deleted,
+            4 => OpStatus::NotFound,
+            5 => OpStatus::Error,
+            6 => OpStatus::Exists,
+            7 => OpStatus::NotStored,
+            _ => return Err(ProtoError::BadStatus(b)),
+        })
+    }
+}
+
+/// Where a get was served from (for hit-rate accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServedFrom {
+    /// RAM slab.
+    #[default]
+    Ram,
+    /// SSD (hybrid store).
+    Ssd,
+    /// Not served (miss / not applicable).
+    None,
+}
+
+impl ServedFrom {
+    fn to_wire(self) -> u8 {
+        match self {
+            ServedFrom::Ram => 0,
+            ServedFrom::Ssd => 1,
+            ServedFrom::None => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => ServedFrom::Ram,
+            1 => ServedFrom::Ssd,
+            2 => ServedFrom::None,
+            _ => return Err(ProtoError::BadServedFrom(b)),
+        })
+    }
+}
+
+/// Conditional-store semantics for [`Request::Set`] (memcached's storage
+/// command family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetMode {
+    /// Unconditional store (`set`).
+    #[default]
+    Set,
+    /// Store only if the key is absent (`add`).
+    Add,
+    /// Store only if the key is present (`replace`).
+    Replace,
+    /// Store only if the entry's CAS token matches (`cas`).
+    Cas(u64),
+    /// Append to the existing value (`append`; keeps original flags and
+    /// expiry).
+    Append,
+    /// Prepend to the existing value (`prepend`).
+    Prepend,
+}
+
+impl SetMode {
+    fn to_wire(self) -> (u8, u64) {
+        match self {
+            SetMode::Set => (0, 0),
+            SetMode::Add => (1, 0),
+            SetMode::Replace => (2, 0),
+            SetMode::Cas(token) => (3, token),
+            SetMode::Append => (4, 0),
+            SetMode::Prepend => (5, 0),
+        }
+    }
+
+    fn from_wire(b: u8, token: u64) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => SetMode::Set,
+            1 => SetMode::Add,
+            2 => SetMode::Replace,
+            3 => SetMode::Cas(token),
+            4 => SetMode::Append,
+            5 => SetMode::Prepend,
+            _ => return Err(ProtoError::BadSetMode(b)),
+        })
+    }
+}
+
+/// Per-request server-side stage timings (virtual nanoseconds), matching
+/// the six-stage breakdown of Section III-A (the client-side stages —
+/// client wait and miss penalty — are measured by the client).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Stage 1: slab allocation (including any eviction flush to SSD).
+    pub slab_alloc_ns: u64,
+    /// Stage 2: cache check and load (including SSD reads).
+    pub check_load_ns: u64,
+    /// Stage 3: cache (LRU) update.
+    pub cache_update_ns: u64,
+    /// Stage 4: server response preparation/transmission estimate.
+    pub response_ns: u64,
+    /// Where the value came from.
+    pub served_from: ServedFrom,
+}
+
+impl StageTimes {
+    /// Sum of the server-side stages.
+    pub fn server_total_ns(&self) -> u64 {
+        self.slab_alloc_ns + self.check_load_ns + self.cache_update_ns + self.response_ns
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Store a key-value pair (plain or conditional; see [`SetMode`]).
+    Set {
+        /// Client-assigned request id (unique per connection).
+        req_id: u64,
+        /// Issuing API family.
+        flavor: ApiFlavor,
+        /// Conditional-store semantics.
+        mode: SetMode,
+        /// Opaque client flags (memcached semantics).
+        flags: u32,
+        /// Expiration in virtual ns since sim start; 0 = never.
+        expire_at_ns: u64,
+        /// Key bytes.
+        key: Bytes,
+        /// Value bytes.
+        value: Bytes,
+    },
+    /// Arithmetic on a decimal-ASCII counter value (`incr`/`decr`).
+    Counter {
+        /// Client-assigned request id.
+        req_id: u64,
+        /// Issuing API family.
+        flavor: ApiFlavor,
+        /// Key bytes.
+        key: Bytes,
+        /// Amount to add or subtract.
+        delta: u64,
+        /// True for `decr` (clamped at zero, memcached semantics).
+        negative: bool,
+    },
+    /// Fetch a server observability snapshot (memcached's `stats`). The
+    /// response is a `Get` carrying JSON in the value field.
+    Stats {
+        /// Client-assigned request id.
+        req_id: u64,
+        /// Issuing API family.
+        flavor: ApiFlavor,
+    },
+    /// Update an entry's expiration without touching its value (`touch`).
+    Touch {
+        /// Client-assigned request id.
+        req_id: u64,
+        /// Issuing API family.
+        flavor: ApiFlavor,
+        /// Key bytes.
+        key: Bytes,
+        /// New expiration (virtual ns since sim start; 0 = never).
+        expire_at_ns: u64,
+    },
+    /// Fetch a value.
+    Get {
+        /// Client-assigned request id.
+        req_id: u64,
+        /// Issuing API family.
+        flavor: ApiFlavor,
+        /// Key bytes.
+        key: Bytes,
+    },
+    /// Remove a key.
+    Delete {
+        /// Client-assigned request id.
+        req_id: u64,
+        /// Issuing API family.
+        flavor: ApiFlavor,
+        /// Key bytes.
+        key: Bytes,
+    },
+}
+
+impl Request {
+    /// The request id.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            Request::Set { req_id, .. }
+            | Request::Get { req_id, .. }
+            | Request::Delete { req_id, .. }
+            | Request::Counter { req_id, .. }
+            | Request::Stats { req_id, .. }
+            | Request::Touch { req_id, .. } => *req_id,
+        }
+    }
+
+    /// The issuing API family.
+    pub fn flavor(&self) -> ApiFlavor {
+        match self {
+            Request::Set { flavor, .. }
+            | Request::Get { flavor, .. }
+            | Request::Delete { flavor, .. }
+            | Request::Counter { flavor, .. }
+            | Request::Stats { flavor, .. }
+            | Request::Touch { flavor, .. } => *flavor,
+        }
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            Request::Set {
+                req_id,
+                flavor,
+                mode,
+                flags,
+                expire_at_ns,
+                key,
+                value,
+            } => {
+                let (mode_b, cas) = mode.to_wire();
+                let mut b = BytesMut::with_capacity(39 + key.len() + value.len());
+                b.put_u8(1);
+                b.put_u8(flavor.to_wire());
+                b.put_u64(*req_id);
+                b.put_u8(mode_b);
+                b.put_u64(cas);
+                b.put_u32(*flags);
+                b.put_u64(*expire_at_ns);
+                b.put_u32(key.len() as u32);
+                b.put_u32(value.len() as u32);
+                b.put_slice(key);
+                b.put_slice(value);
+                b.freeze()
+            }
+            Request::Get { req_id, flavor, key } => encode_keyed(2, *req_id, *flavor, key),
+            Request::Delete { req_id, flavor, key } => encode_keyed(3, *req_id, *flavor, key),
+            Request::Counter {
+                req_id,
+                flavor,
+                key,
+                delta,
+                negative,
+            } => {
+                let mut b = BytesMut::with_capacity(23 + key.len());
+                b.put_u8(4);
+                b.put_u8(flavor.to_wire());
+                b.put_u64(*req_id);
+                b.put_u64(*delta);
+                b.put_u8(*negative as u8);
+                b.put_u32(key.len() as u32);
+                b.put_slice(key);
+                b.freeze()
+            }
+            Request::Stats { req_id, flavor } => {
+                let mut b = BytesMut::with_capacity(10);
+                b.put_u8(6);
+                b.put_u8(flavor.to_wire());
+                b.put_u64(*req_id);
+                b.freeze()
+            }
+            Request::Touch {
+                req_id,
+                flavor,
+                key,
+                expire_at_ns,
+            } => {
+                let mut b = BytesMut::with_capacity(22 + key.len());
+                b.put_u8(5);
+                b.put_u8(flavor.to_wire());
+                b.put_u64(*req_id);
+                b.put_u64(*expire_at_ns);
+                b.put_u32(key.len() as u32);
+                b.put_slice(key);
+                b.freeze()
+            }
+        }
+    }
+
+    /// Decode from wire bytes (zero-copy: key/value alias `buf`).
+    pub fn decode(buf: &Bytes) -> Result<Request, ProtoError> {
+        let mut r = Reader::new(buf);
+        let opcode = r.u8()?;
+        let flavor = ApiFlavor::from_wire(r.u8()?)?;
+        let req_id = r.u64()?;
+        match opcode {
+            1 => {
+                let mode_b = r.u8()?;
+                let cas = r.u64()?;
+                let mode = SetMode::from_wire(mode_b, cas)?;
+                let flags = r.u32()?;
+                let expire_at_ns = r.u64()?;
+                let key_len = r.u32()? as usize;
+                let val_len = r.u32()? as usize;
+                let key = r.take(key_len)?;
+                let value = r.take(val_len)?;
+                Ok(Request::Set {
+                    req_id,
+                    flavor,
+                    mode,
+                    flags,
+                    expire_at_ns,
+                    key,
+                    value,
+                })
+            }
+            4 => {
+                let delta = r.u64()?;
+                let negative = r.u8()? == 1;
+                let key_len = r.u32()? as usize;
+                let key = r.take(key_len)?;
+                Ok(Request::Counter {
+                    req_id,
+                    flavor,
+                    key,
+                    delta,
+                    negative,
+                })
+            }
+            5 => {
+                let expire_at_ns = r.u64()?;
+                let key_len = r.u32()? as usize;
+                let key = r.take(key_len)?;
+                Ok(Request::Touch {
+                    req_id,
+                    flavor,
+                    key,
+                    expire_at_ns,
+                })
+            }
+            6 => Ok(Request::Stats { req_id, flavor }),
+            2 | 3 => {
+                let key_len = r.u32()? as usize;
+                let key = r.take(key_len)?;
+                Ok(if opcode == 2 {
+                    Request::Get { req_id, flavor, key }
+                } else {
+                    Request::Delete { req_id, flavor, key }
+                })
+            }
+            op => Err(ProtoError::BadOpcode(op)),
+        }
+    }
+}
+
+fn encode_keyed(opcode: u8, req_id: u64, flavor: ApiFlavor, key: &Bytes) -> Bytes {
+    let mut b = BytesMut::with_capacity(14 + key.len());
+    b.put_u8(opcode);
+    b.put_u8(flavor.to_wire());
+    b.put_u64(req_id);
+    b.put_u32(key.len() as u32);
+    b.put_slice(key);
+    b.freeze()
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Outcome of a Set.
+    Set {
+        /// Echoed request id.
+        req_id: u64,
+        /// Operation status.
+        status: OpStatus,
+        /// Server stage timings.
+        stages: StageTimes,
+    },
+    /// Outcome of a Get.
+    Get {
+        /// Echoed request id.
+        req_id: u64,
+        /// Operation status.
+        status: OpStatus,
+        /// Server stage timings.
+        stages: StageTimes,
+        /// Stored flags (valid on `Hit`).
+        flags: u32,
+        /// CAS token for a later [`SetMode::Cas`] (valid on `Hit`).
+        cas: u64,
+        /// The value on `Hit`.
+        value: Option<Bytes>,
+    },
+    /// Outcome of an incr/decr.
+    Counter {
+        /// Echoed request id.
+        req_id: u64,
+        /// Operation status.
+        status: OpStatus,
+        /// Server stage timings.
+        stages: StageTimes,
+        /// The counter value after the operation (valid on `Stored`).
+        value: u64,
+    },
+    /// Outcome of a Delete.
+    Delete {
+        /// Echoed request id.
+        req_id: u64,
+        /// Operation status.
+        status: OpStatus,
+        /// Server stage timings.
+        stages: StageTimes,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            Response::Set { req_id, .. }
+            | Response::Get { req_id, .. }
+            | Response::Delete { req_id, .. }
+            | Response::Counter { req_id, .. } => *req_id,
+        }
+    }
+
+    /// The operation status.
+    pub fn status(&self) -> OpStatus {
+        match self {
+            Response::Set { status, .. }
+            | Response::Get { status, .. }
+            | Response::Delete { status, .. }
+            | Response::Counter { status, .. } => *status,
+        }
+    }
+
+    /// The server stage timings.
+    pub fn stages(&self) -> StageTimes {
+        match self {
+            Response::Set { stages, .. }
+            | Response::Get { stages, .. }
+            | Response::Delete { stages, .. }
+            | Response::Counter { stages, .. } => *stages,
+        }
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            Response::Set { req_id, status, stages } => encode_plain_resp(129, *req_id, *status, stages),
+            Response::Delete { req_id, status, stages } => encode_plain_resp(131, *req_id, *status, stages),
+            Response::Get {
+                req_id,
+                status,
+                stages,
+                flags,
+                cas,
+                value,
+            } => {
+                let vlen = value.as_ref().map_or(0, |v| v.len());
+                let mut b = BytesMut::with_capacity(60 + vlen);
+                b.put_u8(130);
+                b.put_u8(status.to_wire());
+                b.put_u64(*req_id);
+                put_stages(&mut b, stages);
+                b.put_u32(*flags);
+                b.put_u64(*cas);
+                match value {
+                    Some(v) => {
+                        b.put_u8(1);
+                        b.put_u32(v.len() as u32);
+                        b.put_slice(v);
+                    }
+                    None => b.put_u8(0),
+                }
+                b.freeze()
+            }
+            Response::Counter {
+                req_id,
+                status,
+                stages,
+                value,
+            } => {
+                let mut b = BytesMut::with_capacity(51);
+                b.put_u8(132);
+                b.put_u8(status.to_wire());
+                b.put_u64(*req_id);
+                put_stages(&mut b, stages);
+                b.put_u64(*value);
+                b.freeze()
+            }
+        }
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &Bytes) -> Result<Response, ProtoError> {
+        let mut r = Reader::new(buf);
+        let opcode = r.u8()?;
+        let status = OpStatus::from_wire(r.u8()?)?;
+        let req_id = r.u64()?;
+        let stages = read_stages(&mut r)?;
+        match opcode {
+            129 => Ok(Response::Set { req_id, status, stages }),
+            131 => Ok(Response::Delete { req_id, status, stages }),
+            130 => {
+                let flags = r.u32()?;
+                let cas = r.u64()?;
+                let has_value = r.u8()? == 1;
+                let value = if has_value {
+                    let len = r.u32()? as usize;
+                    Some(r.take(len)?)
+                } else {
+                    None
+                };
+                Ok(Response::Get {
+                    req_id,
+                    status,
+                    stages,
+                    flags,
+                    cas,
+                    value,
+                })
+            }
+            132 => {
+                let value = r.u64()?;
+                Ok(Response::Counter {
+                    req_id,
+                    status,
+                    stages,
+                    value,
+                })
+            }
+            op => Err(ProtoError::BadOpcode(op)),
+        }
+    }
+}
+
+fn encode_plain_resp(opcode: u8, req_id: u64, status: OpStatus, stages: &StageTimes) -> Bytes {
+    let mut b = BytesMut::with_capacity(43);
+    b.put_u8(opcode);
+    b.put_u8(status.to_wire());
+    b.put_u64(req_id);
+    put_stages(&mut b, stages);
+    b.freeze()
+}
+
+fn put_stages(b: &mut BytesMut, s: &StageTimes) {
+    b.put_u64(s.slab_alloc_ns);
+    b.put_u64(s.check_load_ns);
+    b.put_u64(s.cache_update_ns);
+    b.put_u64(s.response_ns);
+    b.put_u8(s.served_from.to_wire());
+}
+
+fn read_stages(r: &mut Reader<'_>) -> Result<StageTimes, ProtoError> {
+    Ok(StageTimes {
+        slab_alloc_ns: r.u64()?,
+        check_load_ns: r.u64()?,
+        cache_update_ns: r.u64()?,
+        response_ns: r.u64()?,
+        served_from: ServedFrom::from_wire(r.u8()?)?,
+    })
+}
+
+/// Decode failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Message shorter than its framing claims.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown flavor byte.
+    BadFlavor(u8),
+    /// Unknown status byte.
+    BadStatus(u8),
+    /// Unknown served-from byte.
+    BadServedFrom(u8),
+    /// Unknown set-mode byte.
+    BadSetMode(u8),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated message"),
+            ProtoError::BadOpcode(b) => write!(f, "unknown opcode {b}"),
+            ProtoError::BadFlavor(b) => write!(f, "unknown flavor {b}"),
+            ProtoError::BadStatus(b) => write!(f, "unknown status {b}"),
+            ProtoError::BadServedFrom(b) => write!(f, "unknown served-from {b}"),
+            ProtoError::BadSetMode(b) => write!(f, "unknown set mode {b}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Cursor over a `Bytes` buffer with zero-copy `take`.
+struct Reader<'a> {
+    buf: &'a Bytes,
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a Bytes) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn need(&self, n: usize) -> Result<(), ProtoError> {
+        if self.pos + n > self.buf.len() {
+            Err(ProtoError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        self.need(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        Ok(u32::from_be_bytes(a))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        self.need(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_be_bytes(a))
+    }
+
+    fn take(&mut self, n: usize) -> Result<Bytes, ProtoError> {
+        self.need(n)?;
+        let out = self.buf.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stages() -> StageTimes {
+        StageTimes {
+            slab_alloc_ns: 123,
+            check_load_ns: 456,
+            cache_update_ns: 789,
+            response_ns: 42,
+            served_from: ServedFrom::Ssd,
+        }
+    }
+
+    #[test]
+    fn set_request_round_trips() {
+        let req = Request::Set {
+            req_id: 77,
+            flavor: ApiFlavor::NonBlockingB,
+            mode: SetMode::Cas(0xFEED),
+            flags: 0xDEAD,
+            expire_at_ns: 5_000_000,
+            key: Bytes::from_static(b"user:42"),
+            value: Bytes::from(vec![9u8; 1000]),
+        };
+        let wire = req.encode();
+        assert_eq!(Request::decode(&wire).unwrap(), req);
+    }
+
+    #[test]
+    fn get_and_delete_round_trip() {
+        for (req, op) in [
+            (
+                Request::Get {
+                    req_id: 1,
+                    flavor: ApiFlavor::Block,
+                    key: Bytes::from_static(b"k"),
+                },
+                2u8,
+            ),
+            (
+                Request::Delete {
+                    req_id: 2,
+                    flavor: ApiFlavor::NonBlockingI,
+                    key: Bytes::from_static(b"gone"),
+                },
+                3u8,
+            ),
+        ] {
+            let wire = req.encode();
+            assert_eq!(wire[0], op);
+            assert_eq!(Request::decode(&wire).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Set {
+                req_id: 9,
+                status: OpStatus::Stored,
+                stages: stages(),
+            },
+            Response::Get {
+                req_id: 10,
+                status: OpStatus::Hit,
+                stages: stages(),
+                flags: 7,
+                cas: 99,
+                value: Some(Bytes::from(vec![1u8; 333])),
+            },
+            Response::Counter {
+                req_id: 13,
+                status: OpStatus::Stored,
+                stages: stages(),
+                value: 1000,
+            },
+            Response::Get {
+                req_id: 11,
+                status: OpStatus::Miss,
+                stages: StageTimes::default(),
+                flags: 0,
+                cas: 0,
+                value: None,
+            },
+            Response::Delete {
+                req_id: 12,
+                status: OpStatus::NotFound,
+                stages: stages(),
+            },
+        ];
+        for resp in cases {
+            let wire = resp.encode();
+            assert_eq!(Response::decode(&wire).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn decode_is_zero_copy() {
+        let req = Request::Set {
+            req_id: 1,
+            flavor: ApiFlavor::Block,
+            mode: SetMode::Set,
+            flags: 0,
+            expire_at_ns: 0,
+            key: Bytes::from_static(b"key"),
+            value: Bytes::from(vec![5u8; 100]),
+        };
+        let wire = req.encode();
+        let decoded = Request::decode(&wire).unwrap();
+        if let Request::Set { value, .. } = decoded {
+            // The decoded value aliases the wire buffer (no copy).
+            let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+            assert!(wire_range.contains(&(value.as_ptr() as usize)));
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let req = Request::Set {
+            req_id: 1,
+            flavor: ApiFlavor::Block,
+            mode: SetMode::Set,
+            flags: 0,
+            expire_at_ns: 0,
+            key: Bytes::from_static(b"abc"),
+            value: Bytes::from_static(b"defgh"),
+        };
+        let wire = req.encode();
+        for cut in [0, 1, 5, 10, wire.len() - 1] {
+            let partial = wire.slice(..cut);
+            assert_eq!(Request::decode(&partial), Err(ProtoError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_bytes_rejected() {
+        assert_eq!(
+            Request::decode(&Bytes::from_static(&[99, 0, 0, 0, 0, 0, 0, 0, 0, 0])),
+            Err(ProtoError::BadOpcode(99))
+        );
+        assert_eq!(
+            Request::decode(&Bytes::from_static(&[1, 9, 0, 0, 0, 0, 0, 0, 0, 0])),
+            Err(ProtoError::BadFlavor(9))
+        );
+    }
+
+    #[test]
+    fn stage_totals_sum() {
+        let s = stages();
+        assert_eq!(s.server_total_ns(), 123 + 456 + 789 + 42);
+    }
+
+    #[test]
+    fn flavor_nonblocking_classification() {
+        assert!(!ApiFlavor::Block.is_nonblocking());
+        assert!(ApiFlavor::NonBlockingI.is_nonblocking());
+        assert!(ApiFlavor::NonBlockingB.is_nonblocking());
+    }
+}

@@ -1,0 +1,10 @@
+//! The hybrid Memcached-like server: slab storage, hash index, request
+//! pipeline.
+
+pub mod hashtable;
+pub mod runtime;
+pub mod slab;
+pub mod store;
+
+pub use runtime::{Server, ServerConfig, ServerStats, StatsSnapshot};
+pub use store::{HybridStore, IoPolicy, OpOutcome, PromotePolicy, StoreConfig, StoreKind, StoreStats};

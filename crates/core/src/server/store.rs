@@ -1,0 +1,1598 @@
+//! The hybrid 'RAM+SSD' item store.
+//!
+//! Combines the slab pool, the hash index, and per-class LRU tracking into
+//! the storage engine of the paper's hybrid Memcached server:
+//!
+//! - **Memory-only mode** (`IPoIB-Mem` / `RDMA-Mem`): when RAM runs out,
+//!   least-recently-used *items* are evicted and their data is lost — a
+//!   later get misses and the client pays the backend penalty.
+//! - **Hybrid mode** (`H-RDMA-*`): when RAM runs out, the least-recently-
+//!   used *slab page* of the class is flushed wholesale to SSD through the
+//!   configured [`IoPolicy`] and every item in it is retargeted to its SSD
+//!   location; gets transparently read (and optionally promote) from SSD.
+//!
+//! Every operation reports per-stage timings ([`StageTimes`]) matching the
+//! paper's Section III-A breakdown.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nbkv_simrt::{Notify, Sim, SimTime};
+use nbkv_storesim::{IoScheme, LruMap, SlabIo};
+
+use crate::costs::CpuCosts;
+use crate::proto::{OpStatus, ServedFrom, SetMode, StageTimes};
+use crate::server::slab::{parse_item_bytes, SlabConfig, SlabPool, SlabStats};
+use crate::server::hashtable::HashTable;
+use crate::util::unpack_item_id;
+
+/// Memory-only or hybrid storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// All-in-RAM; eviction loses data (default Memcached behaviour).
+    MemoryOnly,
+    /// RAM + SSD: eviction flushes slab pages to SSD (the paper's design).
+    Hybrid,
+}
+
+/// Which I/O scheme slab flushes (and the corresponding reads) use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoPolicy {
+    /// Synchronous direct I/O for everything (H-RDMA-Def).
+    Direct,
+    /// Buffered I/O for everything.
+    Cached,
+    /// Mmap for everything.
+    Mmap,
+    /// The paper's adaptive allocator (Figure 5): mmap for classes with
+    /// chunks up to `mmap_max_chunk`, buffered I/O above.
+    Adaptive {
+        /// Largest chunk size still using mmap.
+        mmap_max_chunk: usize,
+    },
+}
+
+impl IoPolicy {
+    /// Default adaptive cutoff: 128 KiB — the measured crossover where
+    /// buffered I/O overtakes mmap (see the Figure 4 harness).
+    pub fn adaptive_default() -> Self {
+        IoPolicy::Adaptive {
+            mmap_max_chunk: 128 << 10,
+        }
+    }
+
+    /// The scheme used for a slab class with `chunk_size`.
+    pub fn scheme_for(&self, chunk_size: usize) -> IoScheme {
+        match *self {
+            IoPolicy::Direct => IoScheme::Direct,
+            IoPolicy::Cached => IoScheme::Cached,
+            IoPolicy::Mmap => IoScheme::Mmap,
+            IoPolicy::Adaptive { mmap_max_chunk } => {
+                if chunk_size <= mmap_max_chunk {
+                    IoScheme::Mmap
+                } else {
+                    IoScheme::Cached
+                }
+            }
+        }
+    }
+}
+
+/// Whether gets promote SSD-resident items back into RAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromotePolicy {
+    /// Never promote; items stay on SSD once flushed.
+    Never,
+    /// Promote only when a RAM chunk is free without evicting (default;
+    /// avoids flush thrash).
+    IfFree,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Memory-only or hybrid.
+    pub kind: StoreKind,
+    /// RAM budget for slab pages.
+    pub mem_bytes: u64,
+    /// SSD byte budget (hybrid only).
+    pub ssd_capacity: u64,
+    /// Flush I/O policy (hybrid only).
+    pub io_policy: IoPolicy,
+    /// Promotion policy (hybrid only).
+    pub promote: PromotePolicy,
+    /// Asynchronous SSD flush (the paper's future-work extension): slab
+    /// pages are freed as soon as their contents are buffered, the SSD
+    /// write completes in the background, and reads of in-flight items are
+    /// served from the flush buffer.
+    pub async_flush: bool,
+    /// CPU cost model.
+    pub costs: CpuCosts,
+}
+
+impl StoreConfig {
+    /// A hybrid store with adaptive I/O (the paper's optimized design).
+    pub fn hybrid(mem_bytes: u64, ssd_capacity: u64) -> Self {
+        StoreConfig {
+            kind: StoreKind::Hybrid,
+            mem_bytes,
+            ssd_capacity,
+            io_policy: IoPolicy::adaptive_default(),
+            promote: PromotePolicy::IfFree,
+            async_flush: false,
+            costs: CpuCosts::default_costs(),
+        }
+    }
+
+    /// A memory-only store.
+    pub fn memory_only(mem_bytes: u64) -> Self {
+        StoreConfig {
+            kind: StoreKind::MemoryOnly,
+            mem_bytes,
+            ssd_capacity: 0,
+            io_policy: IoPolicy::Direct,
+            promote: PromotePolicy::Never,
+            async_flush: false,
+            costs: CpuCosts::default_costs(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ExtentInfo {
+    len: u32,
+    live: u32,
+}
+
+/// In-flight flush registry: extent base -> (length, buffered contents).
+type InflightFlushes = Rc<RefCell<std::collections::HashMap<u64, (u32, Rc<Vec<u8>>)>>>;
+
+/// Where an item's bytes currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Location {
+    Ram(u64),
+    Ssd { scheme: IoScheme, offset: u64, len: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct ItemMeta {
+    loc: Location,
+    class: u32,
+    version: u64,
+    expire_at_ns: u64,
+    flags: u32,
+}
+
+/// Result of a store operation.
+#[derive(Debug, Clone)]
+pub struct OpOutcome {
+    /// Operation status.
+    pub status: OpStatus,
+    /// Value for get hits.
+    pub value: Option<Bytes>,
+    /// Stored flags for get hits.
+    pub flags: u32,
+    /// CAS token (entry version) for get hits.
+    pub cas: u64,
+    /// Counter value after incr/decr.
+    pub counter: u64,
+    /// Stage breakdown.
+    pub stages: StageTimes,
+}
+
+impl OpOutcome {
+    fn status_only(status: OpStatus, stages: StageTimes) -> OpOutcome {
+        OpOutcome {
+            status,
+            value: None,
+            flags: 0,
+            cas: 0,
+            counter: 0,
+            stages,
+        }
+    }
+}
+
+/// Store counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StoreStats {
+    /// Successful sets.
+    pub sets: u64,
+    /// Gets served from RAM.
+    pub get_hits_ram: u64,
+    /// Gets served from SSD.
+    pub get_hits_ssd: u64,
+    /// Gets that missed.
+    pub get_misses: u64,
+    /// Items that missed because they expired.
+    pub expired: u64,
+    /// Deletes that removed something.
+    pub deletes: u64,
+    /// Slab pages flushed to SSD.
+    pub flushed_pages: u64,
+    /// Items lost to memory-only eviction.
+    pub evicted_items: u64,
+    /// Items dropped because the SSD was full.
+    pub ssd_full_drops: u64,
+    /// SSD items promoted back to RAM.
+    pub promotes: u64,
+    /// Pages flushed asynchronously (async-flush extension).
+    pub async_flushes: u64,
+    /// SSD reads served from an in-flight flush buffer.
+    pub inflight_hits: u64,
+    /// Bytes of SSD extents occupied by dead (superseded/deleted) items,
+    /// awaiting whole-extent reclamation.
+    pub ssd_dead_bytes: u64,
+    /// Extents returned to the free list after every item in them died.
+    pub ssd_reclaimed_extents: u64,
+    /// Bytes made reusable by extent reclamation.
+    pub ssd_reclaimed_bytes: u64,
+    /// Sets that failed (no memory / too large).
+    pub set_errors: u64,
+}
+
+/// The storage engine shared by all server request handlers.
+pub struct HybridStore {
+    sim: Sim,
+    cfg: StoreConfig,
+    pool: RefCell<SlabPool>,
+    index: RefCell<HashTable<ItemMeta>>,
+    item_lru: RefCell<Vec<LruMap<u64, ()>>>,
+    page_lru: RefCell<Vec<LruMap<u32, ()>>>,
+    ssd: Option<Rc<SlabIo>>,
+    ssd_bump: Cell<u64>,
+    /// Live-item count per SSD extent (keyed by base offset); an extent
+    /// whose count reaches zero is reclaimed for reuse.
+    ssd_extents: RefCell<std::collections::BTreeMap<u64, ExtentInfo>>,
+    /// Reclaimed extents ready for reuse by new flushes (shared with the
+    /// async-flush completion tasks).
+    ssd_free_shared: Rc<RefCell<Vec<(u64, u32)>>>,
+    /// Extents that died while their flush was still in flight; reclaimed
+    /// when the background write lands (prevents write/write reordering
+    /// onto a reused extent).
+    ssd_dead_pending: Rc<RefCell<std::collections::HashMap<u64, u32>>>,
+    /// Extents whose background flush has not yet landed on the device:
+    /// base offset -> (byte length, buffered page contents). Reads within
+    /// these ranges are served from the buffer.
+    inflight_flushes: InflightFlushes,
+    next_version: Cell<u64>,
+    flushes_in_flight: Cell<u32>,
+    mem_notify: Notify,
+    stats: Rc<RefCell<StoreStats>>,
+}
+
+impl HybridStore {
+    /// Build a store. `ssd` is required for [`StoreKind::Hybrid`].
+    pub fn new(sim: &Sim, cfg: StoreConfig, ssd: Option<Rc<SlabIo>>) -> Rc<Self> {
+        if cfg.kind == StoreKind::Hybrid {
+            assert!(ssd.is_some(), "hybrid store needs an SSD");
+        }
+        let pool = SlabPool::new(SlabConfig::with_mem(cfg.mem_bytes));
+        let n_classes = pool.num_classes();
+        Rc::new(HybridStore {
+            sim: sim.clone(),
+            cfg,
+            pool: RefCell::new(pool),
+            index: RefCell::new(HashTable::new()),
+            item_lru: RefCell::new((0..n_classes).map(|_| LruMap::new()).collect()),
+            page_lru: RefCell::new((0..n_classes).map(|_| LruMap::new()).collect()),
+            ssd,
+            ssd_bump: Cell::new(0),
+            ssd_extents: RefCell::new(std::collections::BTreeMap::new()),
+            ssd_free_shared: Rc::new(RefCell::new(Vec::new())),
+            ssd_dead_pending: Rc::new(RefCell::new(std::collections::HashMap::new())),
+            inflight_flushes: Rc::new(RefCell::new(std::collections::HashMap::new())),
+            next_version: Cell::new(1),
+            flushes_in_flight: Cell::new(0),
+            mem_notify: Notify::new(),
+            stats: Rc::new(RefCell::new(StoreStats::default())),
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        *self.stats.borrow()
+    }
+
+    /// Slab pool counters.
+    pub fn slab_stats(&self) -> SlabStats {
+        self.pool.borrow().stats()
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.index.borrow().len()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    async fn charge(&self, d: std::time::Duration) {
+        if !d.is_zero() {
+            self.sim.sleep(d).await;
+        }
+    }
+
+    fn ns_since(&self, t: SimTime) -> u64 {
+        self.sim.now().saturating_since(t).as_nanos() as u64
+    }
+
+    /// Store a key-value pair (`memcached_set` semantics).
+    pub async fn set(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire_at_ns: u64,
+    ) -> OpOutcome {
+        self.set_with_mode(SetMode::Set, key, value, flags, expire_at_ns)
+            .await
+    }
+
+    /// Store with memcached conditional semantics (see [`SetMode`]).
+    ///
+    /// - `Add` fails with `Exists` if the key is live.
+    /// - `Replace` fails with `NotStored` if the key is absent.
+    /// - `Cas` fails with `NotFound` (absent) or `Exists` (token mismatch).
+    /// - `Append`/`Prepend` splice onto the existing value, inheriting its
+    ///   flags and expiry; they fail with `NotStored` if the key is absent.
+    pub async fn set_with_mode(
+        &self,
+        mode: SetMode,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire_at_ns: u64,
+    ) -> OpOutcome {
+        let mut stages = StageTimes {
+            served_from: ServedFrom::None,
+            ..StageTimes::default()
+        };
+
+        // Conditional-mode precondition checks (and value splicing).
+        let t_check = self.sim.now();
+        self.charge(self.cfg.costs.hash).await;
+        let existing = self.live_meta(&key);
+        match mode {
+            SetMode::Set => {}
+            SetMode::Add => {
+                if existing.is_some() {
+                    stages.check_load_ns = self.ns_since(t_check);
+                    return OpOutcome::status_only(OpStatus::Exists, stages);
+                }
+            }
+            SetMode::Replace => {
+                if existing.is_none() {
+                    stages.check_load_ns = self.ns_since(t_check);
+                    return OpOutcome::status_only(OpStatus::NotStored, stages);
+                }
+            }
+            SetMode::Cas(token) => match &existing {
+                None => {
+                    stages.check_load_ns = self.ns_since(t_check);
+                    return OpOutcome::status_only(OpStatus::NotFound, stages);
+                }
+                Some(meta) if meta.version != token => {
+                    stages.check_load_ns = self.ns_since(t_check);
+                    return OpOutcome::status_only(OpStatus::Exists, stages);
+                }
+                Some(_) => {}
+            },
+            SetMode::Append | SetMode::Prepend => {
+                let Some(meta) = existing.clone() else {
+                    stages.check_load_ns = self.ns_since(t_check);
+                    return OpOutcome::status_only(OpStatus::NotStored, stages);
+                };
+                let Some(current) = self.load_value(&key, &meta).await else {
+                    stages.check_load_ns = self.ns_since(t_check);
+                    return OpOutcome::status_only(OpStatus::NotStored, stages);
+                };
+                let mut combined = Vec::with_capacity(current.len() + value.len());
+                if mode == SetMode::Append {
+                    combined.extend_from_slice(&current);
+                    combined.extend_from_slice(&value);
+                } else {
+                    combined.extend_from_slice(&value);
+                    combined.extend_from_slice(&current);
+                }
+                // Append/prepend are atomic in memcached: store against the
+                // version we read and retry if a writer raced us.
+                let out = Box::pin(self.set_with_mode(
+                    SetMode::Cas(meta.version),
+                    key.clone(),
+                    Bytes::from(combined),
+                    meta.flags,
+                    meta.expire_at_ns,
+                ))
+                .await;
+                if out.status == OpStatus::Exists || out.status == OpStatus::NotFound {
+                    return Box::pin(self.set_with_mode(mode, key, value, flags, expire_at_ns))
+                        .await;
+                }
+                return out;
+            }
+        }
+        stages.check_load_ns = self.ns_since(t_check);
+
+        self.store_item(key, value, flags, expire_at_ns, stages).await
+    }
+
+    /// The unconditional allocate+write+index path shared by every store
+    /// mutation.
+    async fn store_item(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        flags: u32,
+        expire_at_ns: u64,
+        mut stages: StageTimes,
+    ) -> OpOutcome {
+        let item_len = SlabPool::item_len(key.len(), value.len());
+        let Some(class) = self.pool.borrow().class_for(item_len) else {
+            self.stats.borrow_mut().set_errors += 1;
+            return OpOutcome::status_only(OpStatus::Error, stages);
+        };
+
+        // Stage 1: slab allocation (may flush/evict).
+        let t0 = self.sim.now();
+        let id = loop {
+            let got = self.pool.borrow_mut().try_alloc(class);
+            if let Some(id) = got {
+                break id;
+            }
+            if !self.make_room(class).await {
+                if self.flushes_in_flight.get() > 0 {
+                    // Another handler is flushing; wait for memory.
+                    self.mem_notify.notified().await;
+                    continue;
+                }
+                self.stats.borrow_mut().set_errors += 1;
+                return OpOutcome::status_only(OpStatus::Error, stages);
+            }
+        };
+        stages.slab_alloc_ns = self.ns_since(t0);
+
+        // Store the item bytes.
+        let t1 = self.sim.now();
+        self.pool
+            .borrow_mut()
+            .write_item(id, &key, &value, flags, expire_at_ns);
+        self.charge(self.cfg.costs.memcpy(item_len)).await;
+        stages.check_load_ns += self.ns_since(t1);
+
+        // Stage 3: index + LRU update.
+        let t2 = self.sim.now();
+        let version = self.next_version.get();
+        self.next_version.set(version + 1);
+        let old = self.index.borrow_mut().insert(
+            key,
+            ItemMeta {
+                loc: Location::Ram(id),
+                class: class as u32,
+                version,
+                expire_at_ns,
+                flags,
+            },
+        );
+        if let Some(old) = old {
+            self.release_meta(&old);
+        }
+        self.touch_lru(class, id);
+        self.charge(self.cfg.costs.hash + self.cfg.costs.lru).await;
+        stages.cache_update_ns = self.ns_since(t2);
+
+        self.stats.borrow_mut().sets += 1;
+        OpOutcome {
+            status: OpStatus::Stored,
+            value: None,
+            flags: 0,
+            cas: version,
+            counter: 0,
+            stages,
+        }
+    }
+
+    /// Increment or decrement a decimal-ASCII counter (memcached
+    /// `incr`/`decr`). Missing keys yield `NotFound`; non-numeric values
+    /// yield `Error`; `decr` clamps at zero, `incr` wraps (memcached
+    /// semantics).
+    pub async fn counter(&self, key: &Bytes, delta: u64, negative: bool) -> OpOutcome {
+        let mut stages = StageTimes {
+            served_from: ServedFrom::None,
+            ..StageTimes::default()
+        };
+        let t0 = self.sim.now();
+        self.charge(self.cfg.costs.hash).await;
+        let Some(meta) = self.live_meta(key) else {
+            stages.check_load_ns = self.ns_since(t0);
+            return OpOutcome::status_only(OpStatus::NotFound, stages);
+        };
+        let Some(current) = self.load_value(key, &meta).await else {
+            stages.check_load_ns = self.ns_since(t0);
+            return OpOutcome::status_only(OpStatus::NotFound, stages);
+        };
+        let Some(parsed) = std::str::from_utf8(&current)
+            .ok()
+            .and_then(|t| t.trim().parse::<u64>().ok())
+        else {
+            stages.check_load_ns = self.ns_since(t0);
+            return OpOutcome::status_only(OpStatus::Error, stages);
+        };
+        let next = if negative {
+            parsed.saturating_sub(delta)
+        } else {
+            parsed.wrapping_add(delta)
+        };
+        stages.check_load_ns = self.ns_since(t0);
+        // Store conditionally on the version we read, retrying on a racing
+        // writer — memcached's incr/decr are atomic.
+        let mut out = Box::pin(self.set_with_mode(
+            SetMode::Cas(meta.version),
+            key.clone(),
+            Bytes::from(next.to_string()),
+            meta.flags,
+            meta.expire_at_ns,
+        ))
+        .await;
+        if out.status == OpStatus::Exists || out.status == OpStatus::NotFound {
+            // Lost a race: recompute against the current value.
+            return Box::pin(self.counter(key, delta, negative)).await;
+        }
+        if out.status == OpStatus::Stored {
+            out.counter = next;
+        }
+        out
+    }
+
+    /// Update an entry's expiry without touching the value (memcached
+    /// `touch`).
+    pub async fn touch(&self, key: &Bytes, expire_at_ns: u64) -> OpOutcome {
+        let mut stages = StageTimes {
+            served_from: ServedFrom::None,
+            ..StageTimes::default()
+        };
+        let t0 = self.sim.now();
+        self.charge(self.cfg.costs.hash).await;
+        if self.live_meta(key).is_none() {
+            stages.cache_update_ns = self.ns_since(t0);
+            return OpOutcome::status_only(OpStatus::NotFound, stages);
+        }
+        if let Some(meta) = self.index.borrow_mut().get_mut(key) {
+            meta.expire_at_ns = expire_at_ns;
+        }
+        self.charge(self.cfg.costs.lru).await;
+        stages.cache_update_ns = self.ns_since(t0);
+        OpOutcome::status_only(OpStatus::Stored, stages)
+    }
+
+    /// The live (non-expired) meta for `key`, reaping it if expired.
+    fn live_meta(&self, key: &Bytes) -> Option<ItemMeta> {
+        let meta = self.index.borrow().get(key).cloned()?;
+        if meta.expire_at_ns != 0 && self.sim.now().as_nanos() >= meta.expire_at_ns {
+            self.remove_entry(key);
+            self.stats.borrow_mut().expired += 1;
+            return None;
+        }
+        Some(meta)
+    }
+
+    /// Load the current value bytes for `meta` (RAM or SSD), charging the
+    /// appropriate costs. Returns `None` if the location became invalid.
+    async fn load_value(&self, key: &Bytes, meta: &ItemMeta) -> Option<Bytes> {
+        match meta.loc {
+            Location::Ram(id) => {
+                let item = self.pool.borrow().read_item(id)?;
+                self.charge(self.cfg.costs.memcpy(item.value.len())).await;
+                Some(item.value)
+            }
+            Location::Ssd { scheme, offset, len } => {
+                let raw = if let Some(buf) = self.read_inflight(offset, len as usize) {
+                    self.stats.borrow_mut().inflight_hits += 1;
+                    self.charge(self.cfg.costs.memcpy(len as usize)).await;
+                    buf
+                } else {
+                    let ssd = self.ssd.as_ref().expect("SSD location implies hybrid");
+                    ssd.read(scheme, offset, len as usize).await.ok()?
+                };
+                let item = parse_item_bytes(&raw)?;
+                debug_assert_eq!(&item.key[..], &key[..]);
+                Some(item.value)
+            }
+        }
+    }
+
+    /// Fetch a value.
+    pub async fn get(&self, key: &Bytes) -> OpOutcome {
+        let mut stages = StageTimes {
+            served_from: ServedFrom::None,
+            ..StageTimes::default()
+        };
+        let t0 = self.sim.now();
+        self.charge(self.cfg.costs.hash).await;
+        let meta = self.index.borrow().get(key).cloned();
+        let Some(meta) = meta else {
+            stages.check_load_ns = self.ns_since(t0);
+            self.stats.borrow_mut().get_misses += 1;
+            return OpOutcome::status_only(OpStatus::Miss, stages);
+        };
+        if meta.expire_at_ns != 0 && self.sim.now().as_nanos() >= meta.expire_at_ns {
+            self.remove_entry(key);
+            stages.check_load_ns = self.ns_since(t0);
+            let mut st = self.stats.borrow_mut();
+            st.expired += 1;
+            st.get_misses += 1;
+            return OpOutcome::status_only(OpStatus::Miss, stages);
+        }
+
+        match meta.loc {
+            Location::Ram(id) => {
+                let item = self
+                    .pool
+                    .borrow()
+                    .read_item(id)
+                    .expect("RAM location must be readable");
+                self.charge(self.cfg.costs.memcpy(item.value.len())).await;
+                stages.check_load_ns = self.ns_since(t0);
+                stages.served_from = ServedFrom::Ram;
+
+                let t1 = self.sim.now();
+                // Re-validate before the LRU touch: the chunk may have been
+                // freed (overwrite/delete/flush) while the copy charge was
+                // awaited, and touching a freed id would resurrect it in
+                // the LRU and eventually double-free the chunk.
+                let still_current = self
+                    .index
+                    .borrow()
+                    .get(key)
+                    .is_some_and(|m| m.version == meta.version);
+                if still_current {
+                    self.touch_lru(meta.class as usize, id);
+                }
+                self.charge(self.cfg.costs.lru).await;
+                stages.cache_update_ns = self.ns_since(t1);
+
+                self.stats.borrow_mut().get_hits_ram += 1;
+                OpOutcome {
+                    status: OpStatus::Hit,
+                    value: Some(item.value),
+                    flags: meta.flags,
+                    cas: meta.version,
+                    counter: 0,
+                    stages,
+                }
+            }
+            Location::Ssd { scheme, offset, len } => {
+                let raw = if let Some(buf) = self.read_inflight(offset, len as usize) {
+                    // The flush has not landed yet; serve from its buffer.
+                    self.stats.borrow_mut().inflight_hits += 1;
+                    self.charge(self.cfg.costs.memcpy(len as usize)).await;
+                    buf
+                } else {
+                    let ssd = self.ssd.as_ref().expect("SSD location implies hybrid");
+                    match ssd.read(scheme, offset, len as usize).await {
+                        Ok(b) => b,
+                        Err(_) => {
+                            stages.check_load_ns = self.ns_since(t0);
+                            self.stats.borrow_mut().get_misses += 1;
+                            return OpOutcome::status_only(OpStatus::Error, stages);
+                        }
+                    }
+                };
+                let item = parse_item_bytes(&raw).expect("SSD item parse");
+                debug_assert_eq!(&item.key[..], &key[..]);
+                stages.check_load_ns = self.ns_since(t0);
+                stages.served_from = ServedFrom::Ssd;
+
+                let t1 = self.sim.now();
+                if self.cfg.promote == PromotePolicy::IfFree {
+                    self.maybe_promote(key, &meta, &item).await;
+                }
+                self.charge(self.cfg.costs.lru).await;
+                stages.cache_update_ns = self.ns_since(t1);
+
+                self.stats.borrow_mut().get_hits_ssd += 1;
+                OpOutcome {
+                    status: OpStatus::Hit,
+                    value: Some(item.value),
+                    flags: meta.flags,
+                    cas: meta.version,
+                    counter: 0,
+                    stages,
+                }
+            }
+        }
+    }
+
+    /// Remove a key.
+    pub async fn delete(&self, key: &Bytes) -> OpOutcome {
+        let mut stages = StageTimes {
+            served_from: ServedFrom::None,
+            ..StageTimes::default()
+        };
+        let t0 = self.sim.now();
+        self.charge(self.cfg.costs.hash).await;
+        let removed = self.remove_entry(key);
+        stages.cache_update_ns = self.ns_since(t0);
+        if removed {
+            self.stats.borrow_mut().deletes += 1;
+            OpOutcome::status_only(OpStatus::Deleted, stages)
+        } else {
+            OpOutcome::status_only(OpStatus::NotFound, stages)
+        }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn touch_lru(&self, class: usize, id: u64) {
+        let (page, _) = unpack_item_id(id);
+        self.item_lru.borrow_mut()[class].insert(id, ());
+        self.page_lru.borrow_mut()[class].insert(page, ());
+    }
+
+    /// Drop index bookkeeping for a superseded/removed meta.
+    fn release_meta(&self, meta: &ItemMeta) {
+        match meta.loc {
+            Location::Ram(id) => {
+                self.pool.borrow_mut().free_chunk(id);
+                self.item_lru.borrow_mut()[meta.class as usize].remove(&id);
+            }
+            Location::Ssd { offset, len, .. } => {
+                self.release_ssd_slot(offset, len);
+            }
+        }
+    }
+
+    fn remove_entry(&self, key: &[u8]) -> bool {
+        let removed = self.index.borrow_mut().remove(key);
+        match removed {
+            Some(meta) => {
+                self.release_meta(&meta);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Free memory for `class`. Returns true if progress was made.
+    async fn make_room(&self, class: usize) -> bool {
+        match self.cfg.kind {
+            StoreKind::MemoryOnly => self.evict_items(class),
+            StoreKind::Hybrid => self.flush_lru_page(class).await,
+        }
+    }
+
+    /// Memory-only eviction: drop LRU items (data loss) until a chunk (or
+    /// page) frees up.
+    fn evict_items(&self, class: usize) -> bool {
+        // Evict from this class if it has items; otherwise steal a whole
+        // page from the class with the most pages.
+        let victim_id = self.item_lru.borrow_mut()[class].pop_lru().map(|(id, _)| id);
+        if let Some(id) = victim_id {
+            if let Some(key) = self.pool.borrow().read_item(id).map(|i| i.key) {
+                self.index.borrow_mut().remove(&key);
+            }
+            self.pool.borrow_mut().free_chunk(id);
+            self.stats.borrow_mut().evicted_items += 1;
+            return true;
+        }
+        let donor = self.largest_other_class(class);
+        let Some(donor) = donor else { return false };
+        let Some((page, _)) = self.page_lru.borrow_mut()[donor].pop_lru() else {
+            return false;
+        };
+        self.drop_page_items(donor, page);
+        self.pool.borrow_mut().begin_flush(page);
+        self.pool.borrow_mut().release_page(page);
+        true
+    }
+
+    fn largest_other_class(&self, class: usize) -> Option<usize> {
+        let pool = self.pool.borrow();
+        (0..pool.num_classes())
+            .filter(|&c| c != class && !pool.class_pages(c).is_empty())
+            .max_by_key(|&c| pool.class_pages(c).len())
+    }
+
+    /// Remove every live item of `page` from the index (data loss path).
+    fn drop_page_items(&self, class: usize, page: u32) {
+        let ids = self.pool.borrow().page_chunk_ids(page);
+        for id in ids {
+            let key = match self.pool.borrow().read_item(id) {
+                Some(item) => item.key,
+                None => continue,
+            };
+            let is_live = self
+                .index
+                .borrow()
+                .get(&key)
+                .is_some_and(|m| m.loc == Location::Ram(id));
+            if is_live {
+                self.index.borrow_mut().remove(&key);
+                self.item_lru.borrow_mut()[class].remove(&id);
+                self.stats.borrow_mut().evicted_items += 1;
+            }
+        }
+    }
+
+    /// Hybrid eviction: flush the LRU page of `class` (or of the largest
+    /// donor class) to SSD and retarget its items.
+    async fn flush_lru_page(&self, class: usize) -> bool {
+        let victim = {
+            let mut page_lru = self.page_lru.borrow_mut();
+            match page_lru[class].pop_lru() {
+                Some((page, _)) => Some((class, page)),
+                None => match self.largest_other_class(class) {
+                    Some(donor) => page_lru[donor].pop_lru().map(|(page, _)| (donor, page)),
+                    None => None,
+                },
+            }
+        };
+        let Some((vclass, page)) = victim else {
+            return false;
+        };
+        self.flushes_in_flight.set(self.flushes_in_flight.get() + 1);
+        let result = self.flush_page(vclass, page).await;
+        self.flushes_in_flight.set(self.flushes_in_flight.get() - 1);
+        self.mem_notify.notify_waiters();
+        result
+    }
+
+    async fn flush_page(&self, class: usize, page: u32) -> bool {
+        // Withdraw the page from circulation and capture its live items.
+        let (scheme, chunk_size, page_buf, captured) = {
+            let mut pool = self.pool.borrow_mut();
+            pool.begin_flush(page);
+            let chunk_size = pool.chunk_size(class);
+            let scheme = self.cfg.io_policy.scheme_for(chunk_size);
+            // Buffer the page (the paper: "an entire slab is buffered and
+            // flushed to the SSD").
+            let page_buf = pool.page_data(page).to_vec();
+            let mut captured: Vec<(Bytes, u64, u64, u32)> = Vec::new();
+            for id in pool.page_chunk_ids(page) {
+                let Some(item) = pool.read_item(id) else { continue };
+                let stored = pool.stored_len(id).unwrap_or(0) as u32;
+                let live = self
+                    .index
+                    .borrow()
+                    .get(&item.key)
+                    .is_some_and(|m| m.loc == Location::Ram(id));
+                if live {
+                    let version = self.index.borrow().get(&item.key).expect("live").version;
+                    captured.push((item.key, version, id, stored));
+                }
+            }
+            (scheme, chunk_size, page_buf, captured)
+        };
+        self.charge(self.cfg.costs.memcpy(page_buf.len())).await;
+
+        // Reserve an SSD extent; on a full SSD fall back to dropping.
+        let base = self.reserve_ssd(page_buf.len() as u64);
+        let Some(base) = base else {
+            for (key, version, id, _) in captured {
+                let still_live = self
+                    .index
+                    .borrow()
+                    .get(&key)
+                    .is_some_and(|m| m.version == version);
+                if still_live {
+                    self.index.borrow_mut().remove(&key);
+                }
+                self.item_lru.borrow_mut()[class].remove(&id);
+                self.stats.borrow_mut().ssd_full_drops += 1;
+            }
+            self.pool.borrow_mut().release_page(page);
+            return true;
+        };
+
+        let ssd = self.ssd.as_ref().expect("hybrid flush needs SSD");
+
+        if self.cfg.async_flush {
+            // Future-work extension (paper Section VII): free the page
+            // immediately and let the device write complete in the
+            // background; reads of in-flight items are served from the
+            // flush buffer.
+            let buf = Rc::new(page_buf);
+            self.inflight_flushes
+                .borrow_mut()
+                .insert(base, (buf.len() as u32, Rc::clone(&buf)));
+            self.retarget_and_release(&captured, class, page, scheme, base, chunk_size, buf.len() as u32);
+            self.stats.borrow_mut().async_flushes += 1;
+
+            let ssd = Rc::clone(ssd);
+            let inflight = Rc::clone(&self.inflight_flushes);
+            let dead_pending = Rc::clone(&self.ssd_dead_pending);
+            let free_extents = Rc::clone(&self.ssd_free_shared);
+            let stats = Rc::clone(&self.stats);
+            self.sim.spawn(async move {
+                // The extent was reserved within capacity, so the write
+                // cannot fail.
+                ssd.write(scheme, base, &buf)
+                    .await
+                    .expect("reserved extent write");
+                inflight.borrow_mut().remove(&base);
+                // If the extent died while in flight, it is now safe to
+                // reuse.
+                if let Some(len) = dead_pending.borrow_mut().remove(&base) {
+                    free_extents.borrow_mut().push((base, len));
+                    let mut st = stats.borrow_mut();
+                    st.ssd_reclaimed_extents += 1;
+                    st.ssd_reclaimed_bytes += len as u64;
+                }
+            });
+            return true;
+        }
+
+        if ssd.write(scheme, base, &page_buf).await.is_err() {
+            // Treat a failed flush like a full SSD: drop the items.
+            for (key, _, id, _) in captured {
+                self.index.borrow_mut().remove(&key);
+                self.item_lru.borrow_mut()[class].remove(&id);
+                self.stats.borrow_mut().ssd_full_drops += 1;
+            }
+            self.pool.borrow_mut().release_page(page);
+            return true;
+        }
+
+        self.retarget_and_release(&captured, class, page, scheme, base, chunk_size, page_buf.len() as u32);
+        true
+    }
+
+    /// Point the captured items at their SSD locations (skipping any that
+    /// were overwritten mid-flush) and return the page to the pool.
+    #[allow(clippy::too_many_arguments)]
+    fn retarget_and_release(
+        &self,
+        captured: &[(Bytes, u64, u64, u32)],
+        class: usize,
+        page: u32,
+        scheme: IoScheme,
+        base: u64,
+        chunk_size: usize,
+        extent_len: u32,
+    ) {
+        let mut live = 0u32;
+        for (key, version, id, stored) in captured {
+            let (_, chunk) = unpack_item_id(*id);
+            let offset = base + chunk as u64 * chunk_size as u64;
+            let mut index = self.index.borrow_mut();
+            if let Some(meta) = index.get_mut(key) {
+                if meta.version == *version {
+                    meta.loc = Location::Ssd {
+                        scheme,
+                        offset,
+                        len: *stored,
+                    };
+                    live += 1;
+                }
+            }
+            drop(index);
+            self.item_lru.borrow_mut()[class].remove(id);
+        }
+        self.register_extent(base, extent_len, live);
+        self.pool.borrow_mut().release_page(page);
+        self.stats.borrow_mut().flushed_pages += 1;
+    }
+
+    /// If `[offset, offset+len)` lies inside an in-flight flush extent,
+    /// serve the bytes from the flush buffer (RAM speed).
+    fn read_inflight(&self, offset: u64, len: usize) -> Option<Bytes> {
+        let inflight = self.inflight_flushes.borrow();
+        for (&base, (extent_len, buf)) in inflight.iter() {
+            let end = base + *extent_len as u64;
+            if offset >= base && offset + len as u64 <= end {
+                let rel = (offset - base) as usize;
+                return Some(Bytes::copy_from_slice(&buf[rel..rel + len]));
+            }
+        }
+        None
+    }
+
+    fn reserve_ssd(&self, len: u64) -> Option<u64> {
+        // Prefer a reclaimed extent of exactly the right size (flushes are
+        // always one slab page, so sizes match in practice).
+        {
+            let mut free = self.ssd_free_shared.borrow_mut();
+            if let Some(pos) = free.iter().position(|&(_, l)| l as u64 == len) {
+                let (base, _) = free.swap_remove(pos);
+                return Some(base);
+            }
+        }
+        let base = self.ssd_bump.get();
+        if base + len > self.cfg.ssd_capacity {
+            return None;
+        }
+        self.ssd_bump.set(base + len);
+        Some(base)
+    }
+
+    /// Register a flushed extent and its live-item count.
+    fn register_extent(&self, base: u64, len: u32, live: u32) {
+        if live == 0 {
+            // Nothing in the extent survived the flush races: reusable at
+            // once (unless the write is still in flight).
+            self.reclaim_extent(base, len);
+            return;
+        }
+        self.ssd_extents
+            .borrow_mut()
+            .insert(base, ExtentInfo { len, live });
+    }
+
+    /// Account one dead SSD item slot; reclaims its extent when the last
+    /// live item dies.
+    fn release_ssd_slot(&self, offset: u64, item_len: u32) {
+        self.stats.borrow_mut().ssd_dead_bytes += item_len as u64;
+        let mut extents = self.ssd_extents.borrow_mut();
+        // The extent containing `offset` is the one with the largest base
+        // at or below it.
+        let Some((&base, info)) = extents.range_mut(..=offset).next_back() else {
+            return;
+        };
+        if offset >= base + info.len as u64 {
+            return; // not inside a tracked extent (already reclaimed)
+        }
+        debug_assert!(info.live > 0);
+        info.live -= 1;
+        if info.live == 0 {
+            let len = info.len;
+            extents.remove(&base);
+            drop(extents);
+            self.reclaim_extent(base, len);
+        }
+    }
+
+    /// Return a fully-dead extent to the free list — unless its background
+    /// flush is still in flight, in which case reclamation is deferred to
+    /// the flush-completion hook (reusing the extent earlier could let the
+    /// stale write land on top of fresh data).
+    fn reclaim_extent(&self, base: u64, len: u32) {
+        if self.inflight_flushes.borrow().contains_key(&base) {
+            self.ssd_dead_pending.borrow_mut().insert(base, len);
+            return;
+        }
+        self.ssd_free_shared.borrow_mut().push((base, len));
+        let mut st = self.stats.borrow_mut();
+        st.ssd_reclaimed_extents += 1;
+        st.ssd_reclaimed_bytes += len as u64;
+    }
+    /// Promote an SSD item back to RAM if a chunk is free (no eviction).
+    async fn maybe_promote(
+        &self,
+        key: &Bytes,
+        meta: &ItemMeta,
+        item: &crate::server::slab::ParsedItem,
+    ) {
+        let class = meta.class as usize;
+        let id = {
+            let mut pool = self.pool.borrow_mut();
+            if !pool.can_alloc(class) {
+                return;
+            }
+            match pool.try_alloc(class) {
+                Some(id) => id,
+                None => return,
+            }
+        };
+        // Re-check the entry was not changed while we read from SSD.
+        let still_current = self
+            .index
+            .borrow()
+            .get(key)
+            .is_some_and(|m| m.version == meta.version);
+        if !still_current {
+            self.pool.borrow_mut().free_chunk(id);
+            return;
+        }
+        let item_len = SlabPool::item_len(item.key.len(), item.value.len());
+        self.pool
+            .borrow_mut()
+            .write_item(id, &item.key, &item.value, meta.flags, meta.expire_at_ns);
+        self.charge(self.cfg.costs.memcpy(item_len)).await;
+        let mut index = self.index.borrow_mut();
+        if let Some(m) = index.get_mut(key) {
+            if m.version == meta.version {
+                // The SSD slot is superseded by the promoted RAM copy.
+                // (release_ssd_slot touches extent bookkeeping only, so it
+                // is safe while the index borrow is held.)
+                if let Location::Ssd { offset, len, .. } = m.loc {
+                    self.release_ssd_slot(offset, len);
+                }
+                m.loc = Location::Ram(id);
+                let v = self.next_version.get();
+                self.next_version.set(v + 1);
+                m.version = v;
+                drop(index);
+                self.touch_lru(class, id);
+                self.stats.borrow_mut().promotes += 1;
+                return;
+            }
+        }
+        drop(index);
+        // Lost the race after all; give the chunk back.
+        self.pool.borrow_mut().free_chunk(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbkv_storesim::{instant_device, sata_ssd, HostModel, SlabIoConfig, SsdDevice};
+    use std::time::Duration;
+
+    fn make_store(sim: &Sim, mut cfg: StoreConfig, instant: bool) -> Rc<HybridStore> {
+        cfg.costs = CpuCosts::zero();
+        let ssd = if cfg.kind == StoreKind::Hybrid {
+            let dev_profile = if instant { instant_device() } else { sata_ssd() };
+            let host = if instant {
+                HostModel::zero()
+            } else {
+                HostModel::default_host()
+            };
+            let dev = SsdDevice::new(sim, dev_profile);
+            Some(SlabIo::new(sim, dev, SlabIoConfig::default_for_tests(host)))
+        } else {
+            None
+        };
+        HybridStore::new(sim, cfg, ssd)
+    }
+
+    fn key(i: usize) -> Bytes {
+        Bytes::from(format!("key-{i:06}"))
+    }
+
+    fn val(i: usize, len: usize) -> Bytes {
+        Bytes::from(vec![(i % 251) as u8; len])
+    }
+
+    #[test]
+    fn set_get_round_trip_with_flags() {
+        let sim = Sim::new();
+        let store = make_store(&sim, StoreConfig::memory_only(4 << 20), true);
+        sim.run_until(async move {
+            let s = store.set(key(1), val(1, 100), 42, 0).await;
+            assert_eq!(s.status, OpStatus::Stored);
+            let g = store.get(&key(1)).await;
+            assert_eq!(g.status, OpStatus::Hit);
+            assert_eq!(g.flags, 42);
+            assert_eq!(g.value.unwrap(), val(1, 100));
+            assert_eq!(g.stages.served_from, ServedFrom::Ram);
+        });
+    }
+
+    #[test]
+    fn get_missing_key_misses() {
+        let sim = Sim::new();
+        let store = make_store(&sim, StoreConfig::memory_only(4 << 20), true);
+        sim.run_until(async move {
+            let g = store.get(&key(9)).await;
+            assert_eq!(g.status, OpStatus::Miss);
+            assert!(g.value.is_none());
+            assert_eq!(store.stats().get_misses, 1);
+        });
+    }
+
+    #[test]
+    fn memory_only_eviction_loses_lru_items() {
+        let sim = Sim::new();
+        // 2 MiB budget, 64 KiB values: ~30 items fit; store 60.
+        let store = make_store(&sim, StoreConfig::memory_only(2 << 20), true);
+        sim.run_until(async move {
+            for i in 0..60 {
+                assert_eq!(store.set(key(i), val(i, 64 << 10), 0, 0).await.status, OpStatus::Stored);
+            }
+            assert!(store.stats().evicted_items > 0);
+            // Recently-set keys survive; the oldest were evicted.
+            assert_eq!(store.get(&key(59)).await.status, OpStatus::Hit);
+            assert_eq!(store.get(&key(0)).await.status, OpStatus::Miss);
+        });
+    }
+
+    #[test]
+    fn hybrid_retains_everything_on_ssd() {
+        let sim = Sim::new();
+        let store = make_store(&sim, StoreConfig::hybrid(2 << 20, 1 << 30), true);
+        sim.run_until(async move {
+            for i in 0..60 {
+                assert_eq!(store.set(key(i), val(i, 64 << 10), 0, 0).await.status, OpStatus::Stored);
+            }
+            assert!(store.stats().flushed_pages > 0);
+            // Every key is still retrievable — high data retention.
+            for i in 0..60 {
+                let g = store.get(&key(i)).await;
+                assert_eq!(g.status, OpStatus::Hit, "key {i}");
+                assert_eq!(g.value.unwrap(), val(i, 64 << 10), "key {i}");
+            }
+            let st = store.stats();
+            assert!(st.get_hits_ssd > 0, "some gets must hit SSD: {st:?}");
+            assert_eq!(st.get_misses, 0);
+        });
+    }
+
+    #[test]
+    fn hybrid_get_reports_ssd_source_and_latency() {
+        let sim = Sim::new();
+        let store = make_store(&sim, StoreConfig::hybrid(2 << 20, 1 << 30), false);
+        sim.run_until(async move {
+            for i in 0..60 {
+                store.set(key(i), val(i, 64 << 10), 0, 0).await;
+            }
+            // key(0) was flushed early and (with a cold cache for direct
+            // reads) must report SSD provenance.
+            let g = store.get(&key(0)).await;
+            assert_eq!(g.status, OpStatus::Hit);
+            assert_eq!(g.stages.served_from, ServedFrom::Ssd);
+            let g2 = store.get(&key(59)).await;
+            assert_eq!(g2.stages.served_from, ServedFrom::Ram);
+        });
+    }
+
+    #[test]
+    fn direct_policy_writes_device_synchronously() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let mut cfg = StoreConfig::hybrid(1 << 20, 1 << 30);
+        cfg.io_policy = IoPolicy::Direct;
+        let store = make_store(&sim, cfg, false);
+        sim.run_until(async move {
+            // Fill 1 MiB, then one more set forces a synchronous 1 MiB
+            // direct flush (milliseconds on SATA).
+            let mut i = 0;
+            while store.stats().flushed_pages == 0 {
+                let before = sim2.now();
+                store.set(key(i), val(i, 64 << 10), 0, 0).await;
+                let took = sim2.now() - before;
+                if store.stats().flushed_pages > 0 {
+                    assert!(
+                        took > Duration::from_millis(1),
+                        "direct flush should be slow, took {took:?}"
+                    );
+                }
+                i += 1;
+                assert!(i < 100, "flush never happened");
+            }
+        });
+    }
+
+    #[test]
+    fn adaptive_policy_flushes_much_faster_than_direct() {
+        fn preload_time(policy: IoPolicy) -> u64 {
+            let sim = Sim::new();
+            let sim2 = sim.clone();
+            let mut cfg = StoreConfig::hybrid(2 << 20, 1 << 30);
+            cfg.io_policy = policy;
+            cfg.costs = CpuCosts::zero();
+            let dev = SsdDevice::new(&sim, sata_ssd());
+            let ssd = SlabIo::new(&sim, dev, SlabIoConfig::default_for_tests(HostModel::default_host()));
+            let store = HybridStore::new(&sim, cfg, Some(ssd));
+            sim.run_until(async move {
+                for i in 0..120 {
+                    store.set(key(i), val(i, 64 << 10), 0, 0).await;
+                }
+                sim2.now().as_nanos()
+            })
+        }
+        let direct = preload_time(IoPolicy::Direct);
+        let adaptive = preload_time(IoPolicy::adaptive_default());
+        assert!(
+            direct > adaptive * 3,
+            "direct {direct}ns should be >> adaptive {adaptive}ns"
+        );
+    }
+
+    #[test]
+    fn expired_items_miss_and_are_reaped() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let store = make_store(&sim, StoreConfig::memory_only(4 << 20), true);
+        sim.run_until(async move {
+            let expire_at = (sim2.now() + Duration::from_millis(5)).as_nanos();
+            store.set(key(1), val(1, 64), 0, expire_at).await;
+            assert_eq!(store.get(&key(1)).await.status, OpStatus::Hit);
+            sim2.sleep(Duration::from_millis(10)).await;
+            assert_eq!(store.get(&key(1)).await.status, OpStatus::Miss);
+            assert_eq!(store.stats().expired, 1);
+            assert_eq!(store.len(), 0);
+        });
+    }
+
+    #[test]
+    fn delete_removes_and_reports_not_found() {
+        let sim = Sim::new();
+        let store = make_store(&sim, StoreConfig::memory_only(4 << 20), true);
+        sim.run_until(async move {
+            store.set(key(1), val(1, 64), 0, 0).await;
+            assert_eq!(store.delete(&key(1)).await.status, OpStatus::Deleted);
+            assert_eq!(store.delete(&key(1)).await.status, OpStatus::NotFound);
+            assert_eq!(store.get(&key(1)).await.status, OpStatus::Miss);
+        });
+    }
+
+    #[test]
+    fn overwrite_replaces_value_without_leaking_ram() {
+        let sim = Sim::new();
+        let store = make_store(&sim, StoreConfig::memory_only(4 << 20), true);
+        sim.run_until(async move {
+            for round in 0..50 {
+                store.set(key(1), val(round, 1000), round as u32, 0).await;
+            }
+            let g = store.get(&key(1)).await;
+            assert_eq!(g.value.unwrap(), val(49, 1000));
+            assert_eq!(g.flags, 49);
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.slab_stats().live_items, 1, "old chunks must be freed");
+        });
+    }
+
+    #[test]
+    fn too_large_item_errors() {
+        let sim = Sim::new();
+        let store = make_store(&sim, StoreConfig::memory_only(4 << 20), true);
+        sim.run_until(async move {
+            let out = store.set(key(1), val(1, 2 << 20), 0, 0).await;
+            assert_eq!(out.status, OpStatus::Error);
+            assert_eq!(store.stats().set_errors, 1);
+        });
+    }
+
+    #[test]
+    fn ssd_full_falls_back_to_dropping() {
+        let sim = Sim::new();
+        // Hybrid with an SSD that fits only 2 pages.
+        let mut cfg = StoreConfig::hybrid(1 << 20, 2 << 20);
+        cfg.io_policy = IoPolicy::Cached;
+        let store = make_store(&sim, cfg, true);
+        sim.run_until(async move {
+            for i in 0..120 {
+                assert_eq!(store.set(key(i), val(i, 64 << 10), 0, 0).await.status, OpStatus::Stored);
+            }
+            let st = store.stats();
+            assert!(st.ssd_full_drops > 0, "{st:?}");
+            // Recent keys still live.
+            assert_eq!(store.get(&key(119)).await.status, OpStatus::Hit);
+        });
+    }
+
+    #[test]
+    fn promote_brings_hot_ssd_items_back_to_ram() {
+        let sim = Sim::new();
+        let store = make_store(&sim, StoreConfig::hybrid(2 << 20, 1 << 30), true);
+        sim.run_until(async move {
+            for i in 0..60 {
+                store.set(key(i), val(i, 64 << 10), 0, 0).await;
+            }
+            // Free RAM so promotion has room.
+            for i in 30..60 {
+                store.delete(&key(i)).await;
+            }
+            let first = store.get(&key(0)).await;
+            assert_eq!(first.stages.served_from, ServedFrom::Ssd);
+            assert!(store.stats().promotes > 0);
+            // Second read is served from RAM after promotion.
+            let second = store.get(&key(0)).await;
+            assert_eq!(second.stages.served_from, ServedFrom::Ram);
+        });
+    }
+
+    #[test]
+    fn stage_times_reflect_ssd_cost() {
+        let sim = Sim::new();
+        // Direct I/O so the read cannot be served by the OS page cache.
+        let mut cfg = StoreConfig::hybrid(2 << 20, 1 << 30);
+        cfg.io_policy = IoPolicy::Direct;
+        let store = make_store(&sim, cfg, false);
+        sim.run_until(async move {
+            for i in 0..60 {
+                store.set(key(i), val(i, 64 << 10), 0, 0).await;
+            }
+            let g = store.get(&key(0)).await;
+            assert_eq!(g.stages.served_from, ServedFrom::Ssd);
+            // SSD check/load dominates and is at least the device access time.
+            assert!(
+                g.stages.check_load_ns > 50_000,
+                "SSD load should cost tens of us: {:?}",
+                g.stages
+            );
+        });
+    }
+
+    #[test]
+    fn concurrent_sets_and_gets_stay_consistent() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let store = make_store(&sim, StoreConfig::hybrid(2 << 20, 1 << 30), false);
+        sim.run_until(async move {
+            let mut handles = Vec::new();
+            for task in 0..8u32 {
+                let store = Rc::clone(&store);
+                handles.push(sim2.spawn(async move {
+                    for i in 0..40usize {
+                        let k = key(task as usize * 1000 + i);
+                        store.set(k.clone(), val(i, 32 << 10), task, 0).await;
+                        let g = store.get(&k).await;
+                        assert_eq!(g.status, OpStatus::Hit);
+                        assert_eq!(g.value.unwrap(), val(i, 32 << 10));
+                    }
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+        });
+    }
+
+
+    // -- async-flush extension (paper Section VII future work) ------------
+
+    #[test]
+    fn async_flush_frees_memory_without_waiting_for_the_device() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let mut cfg = StoreConfig::hybrid(1 << 20, 1 << 30);
+        cfg.io_policy = IoPolicy::Direct; // slow sync path for contrast
+        cfg.async_flush = true;
+        let store = make_store(&sim, cfg, false);
+        sim.run_until(async move {
+            let mut max_set_ns = 0u64;
+            for i in 0..60 {
+                let t0 = sim2.now();
+                assert_eq!(
+                    store.set(key(i), val(i, 64 << 10), 0, 0).await.status,
+                    OpStatus::Stored
+                );
+                max_set_ns = max_set_ns.max(sim2.now().saturating_since(t0).as_nanos() as u64);
+            }
+            // Direct 1 MiB sync flush costs ~9 ms on SATA; with async flush
+            // no set should ever stall that long.
+            assert!(
+                max_set_ns < 2_000_000,
+                "async flush must hide the device write: worst set {max_set_ns}ns"
+            );
+            assert!(store.stats().async_flushes > 0);
+        });
+    }
+
+    #[test]
+    fn async_flush_serves_inflight_reads_from_buffer() {
+        let sim = Sim::new();
+        let mut cfg = StoreConfig::hybrid(1 << 20, 1 << 30);
+        cfg.io_policy = IoPolicy::Direct;
+        cfg.async_flush = true;
+        cfg.promote = PromotePolicy::Never;
+        let store = make_store(&sim, cfg, false);
+        sim.run_until(async move {
+            for i in 0..40 {
+                store.set(key(i), val(i, 64 << 10), 0, 0).await;
+            }
+            // Immediately read an early (flushed) key: with a ~9 ms direct
+            // write still in flight, it must come from the buffer.
+            let g = store.get(&key(0)).await;
+            assert_eq!(g.status, OpStatus::Hit);
+            assert_eq!(g.value.unwrap(), val(0, 64 << 10));
+            assert!(
+                store.stats().inflight_hits > 0,
+                "{:?}",
+                store.stats()
+            );
+        });
+    }
+
+    #[test]
+    fn async_flush_data_survives_after_writes_land() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let mut cfg = StoreConfig::hybrid(1 << 20, 1 << 30);
+        cfg.async_flush = true;
+        cfg.promote = PromotePolicy::Never;
+        let store = make_store(&sim, cfg, false);
+        sim.run_until(async move {
+            for i in 0..60 {
+                store.set(key(i), val(i, 64 << 10), 0, 0).await;
+            }
+            // Give every background write time to land.
+            sim2.sleep(Duration::from_secs(1)).await;
+            for i in 0..60 {
+                let g = store.get(&key(i)).await;
+                assert_eq!(g.status, OpStatus::Hit, "key {i}");
+                assert_eq!(g.value.unwrap(), val(i, 64 << 10), "key {i}");
+            }
+            assert_eq!(store.stats().get_misses, 0);
+        });
+    }
+
+    // -- SSD extent reclamation --------------------------------------------
+
+    #[test]
+    fn dead_extents_are_reclaimed_and_reused() {
+        let sim = Sim::new();
+        let mut cfg = StoreConfig::hybrid(1 << 20, 1 << 30);
+        cfg.promote = PromotePolicy::Never;
+        let store = make_store(&sim, cfg, true);
+        sim.run_until(async move {
+            // Fill past RAM so pages flush to SSD.
+            for i in 0..60 {
+                store.set(key(i), val(i, 64 << 10), 0, 0).await;
+            }
+            assert!(store.stats().flushed_pages > 0);
+            // Overwrite everything: every SSD slot dies; whole extents
+            // must return to the free list.
+            for i in 0..60 {
+                store.set(key(i), val(i + 1, 64 << 10), 0, 0).await;
+            }
+            let st = store.stats();
+            assert!(
+                st.ssd_reclaimed_extents > 0,
+                "extents must be reclaimed: {st:?}"
+            );
+            assert!(st.ssd_reclaimed_bytes >= (1 << 20));
+        });
+    }
+
+    #[test]
+    fn reclamation_bounds_ssd_usage_under_churn() {
+        let sim = Sim::new();
+        // SSD only fits 8 slab pages; without reclamation, sustained
+        // overwrite churn would exhaust it and drop items.
+        let mut cfg = StoreConfig::hybrid(1 << 20, 8 << 20);
+        cfg.promote = PromotePolicy::Never;
+        let store = make_store(&sim, cfg, true);
+        sim.run_until(async move {
+            for round in 0..12 {
+                for i in 0..30 {
+                    assert_eq!(
+                        store.set(key(i), val(round, 64 << 10), 0, 0).await.status,
+                        OpStatus::Stored,
+                        "round {round} key {i}"
+                    );
+                }
+            }
+            // All keys still readable: churn stayed within the SSD budget.
+            for i in 0..30 {
+                assert_eq!(store.get(&key(i)).await.status, OpStatus::Hit, "key {i}");
+            }
+            let st = store.stats();
+            assert_eq!(st.ssd_full_drops, 0, "reclamation must prevent drops: {st:?}");
+            assert!(st.ssd_reclaimed_extents > 0);
+        });
+    }
+
+    #[test]
+    fn inflight_extent_reclamation_is_deferred() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let mut cfg = StoreConfig::hybrid(1 << 20, 1 << 30);
+        cfg.io_policy = IoPolicy::Direct; // slow writes keep flushes in flight
+        cfg.async_flush = true;
+        cfg.promote = PromotePolicy::Never;
+        let store = make_store(&sim, cfg, false);
+        sim.run_until(async move {
+            for i in 0..40 {
+                store.set(key(i), val(i, 64 << 10), 0, 0).await;
+            }
+            // Kill everything immediately: many extents are still in
+            // flight, so reclamation must be deferred, not unsafe.
+            for i in 0..40 {
+                store.delete(&key(i)).await;
+            }
+            let before = store.stats().ssd_reclaimed_extents;
+            sim2.sleep(Duration::from_secs(2)).await; // let writes land
+            // New churn can now reuse the reclaimed extents.
+            for i in 0..40 {
+                store.set(key(100 + i), val(i, 64 << 10), 0, 0).await;
+            }
+            let st = store.stats();
+            assert!(
+                st.ssd_reclaimed_extents > before || st.ssd_reclaimed_extents > 0,
+                "{st:?}"
+            );
+            assert_eq!(st.ssd_full_drops, 0);
+        });
+    }
+}

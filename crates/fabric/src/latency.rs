@@ -1,0 +1,157 @@
+//! Pure latency arithmetic for simulated links and devices.
+
+use std::time::Duration;
+
+/// A linear latency model: `cost(bytes) = base + bytes * ns_per_byte`.
+///
+/// `base` models propagation / fixed per-message latency; `ns_per_byte`
+/// models serialization at the link (or device) bandwidth. The model is a
+/// pure function so it can be unit-tested without running a simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed per-message latency.
+    pub base: Duration,
+    /// Serialization cost per payload byte.
+    pub ns_per_byte: f64,
+    /// Maximum deterministic per-message jitter added to propagation
+    /// (0 = none). Jitter is derived from the message sequence number, so
+    /// identical runs stay bit-identical.
+    pub max_jitter_ns: u64,
+}
+
+impl LatencyModel {
+    /// A zero-cost model (useful in tests).
+    pub const fn zero() -> Self {
+        LatencyModel {
+            base: Duration::ZERO,
+            ns_per_byte: 0.0,
+            max_jitter_ns: 0,
+        }
+    }
+
+    /// Build from a base latency and a bandwidth in gigabytes per second.
+    pub fn from_bandwidth_gbps(base: Duration, gbps: f64) -> Self {
+        assert!(gbps > 0.0, "bandwidth must be positive");
+        LatencyModel {
+            base,
+            ns_per_byte: 1.0 / gbps,
+            max_jitter_ns: 0,
+        }
+    }
+
+    /// Add deterministic per-message jitter of up to `max` to propagation.
+    pub fn with_jitter(mut self, max: Duration) -> Self {
+        self.max_jitter_ns = max.as_nanos() as u64;
+        self
+    }
+
+    /// Jitter for message number `seq` on this link: a deterministic hash
+    /// of the sequence number folded into `[0, max_jitter_ns]`.
+    pub fn jitter_for(&self, seq: u64) -> Duration {
+        if self.max_jitter_ns == 0 {
+            return Duration::ZERO;
+        }
+        let mut x = seq.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        Duration::from_nanos(x % (self.max_jitter_ns + 1))
+    }
+
+    /// Time to push `bytes` through the link at its bandwidth.
+    pub fn serialization(&self, bytes: usize) -> Duration {
+        Duration::from_nanos((bytes as f64 * self.ns_per_byte).round() as u64)
+    }
+
+    /// Fixed per-message latency.
+    pub fn propagation(&self) -> Duration {
+        self.base
+    }
+
+    /// Total one-way latency for a `bytes`-sized message on an idle link.
+    pub fn one_way(&self, bytes: usize) -> Duration {
+        self.serialization(bytes) + self.base
+    }
+
+    /// Uniformly scale all costs (e.g. `scaled(0.0)` for instant tests).
+    pub fn scaled(self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        LatencyModel {
+            base: Duration::from_nanos((self.base.as_nanos() as f64 * factor).round() as u64),
+            ns_per_byte: self.ns_per_byte * factor,
+            max_jitter_ns: (self.max_jitter_ns as f64 * factor).round() as u64,
+        }
+    }
+
+    /// Effective bandwidth in gigabytes per second (`None` if infinite).
+    pub fn bandwidth_gbps(&self) -> Option<f64> {
+        (self.ns_per_byte > 0.0).then(|| 1.0 / self.ns_per_byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_scales_with_bytes() {
+        let m = LatencyModel::from_bandwidth_gbps(Duration::from_micros(2), 1.0);
+        assert_eq!(m.serialization(1000), Duration::from_nanos(1000));
+        assert_eq!(m.serialization(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn one_way_adds_base() {
+        let m = LatencyModel::from_bandwidth_gbps(Duration::from_micros(2), 2.0);
+        // 4000 bytes at 2 GB/s = 2000 ns, plus 2000 ns base.
+        assert_eq!(m.one_way(4000), Duration::from_micros(4));
+    }
+
+    #[test]
+    fn zero_model_costs_nothing() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.one_way(1 << 20), Duration::ZERO);
+        assert_eq!(m.bandwidth_gbps(), None);
+    }
+
+    #[test]
+    fn scaling_is_uniform() {
+        let m = LatencyModel::from_bandwidth_gbps(Duration::from_micros(10), 1.0).scaled(0.5);
+        assert_eq!(m.base, Duration::from_micros(5));
+        assert_eq!(m.serialization(1000), Duration::from_nanos(500));
+    }
+
+    #[test]
+    fn bandwidth_round_trips() {
+        let m = LatencyModel::from_bandwidth_gbps(Duration::ZERO, 6.0);
+        let gbps = m.bandwidth_gbps().unwrap();
+        assert!((gbps - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LatencyModel::from_bandwidth_gbps(Duration::ZERO, 0.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let m = LatencyModel::from_bandwidth_gbps(Duration::ZERO, 1.0)
+            .with_jitter(Duration::from_nanos(500));
+        for seq in 0..1000 {
+            let j = m.jitter_for(seq);
+            assert!(j.as_nanos() <= 500, "seq {seq}: {j:?}");
+            assert_eq!(j, m.jitter_for(seq), "deterministic");
+        }
+        // Jitter actually varies.
+        let distinct: std::collections::HashSet<u128> =
+            (0..100).map(|s| m.jitter_for(s).as_nanos()).collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn zero_jitter_is_free() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.jitter_for(12345), Duration::ZERO);
+    }
+}

@@ -1,0 +1,165 @@
+//! Calibrated transport profiles.
+//!
+//! Numbers are calibrated to published measurements of the paper's testbed
+//! era (2015-16): Mellanox FDR ConnectX-3 HCAs (SDSC Comet / OSU NowLab)
+//! and the IPoIB protocol on the same hardware. Absolute values are
+//! approximate; what the reproduction relies on is the *ratio* between
+//! profiles (RDMA ≈ 10x faster than IPoIB for small messages, ≈ 4-5x the
+//! bandwidth after kernel copies).
+
+use std::time::Duration;
+
+use crate::latency::LatencyModel;
+
+/// Full cost model for one transport flavour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricProfile {
+    /// Human-readable name (appears in harness output).
+    pub name: &'static str,
+    /// Per-message link model (serialization + propagation).
+    pub link: LatencyModel,
+    /// Host-side CPU cost charged to the caller per posted/received message
+    /// (request descriptor handling, doorbell, TCP stack dispatch).
+    pub per_message_cpu: Duration,
+    /// Extra per-byte CPU copy charged on each end (kernel socket copies;
+    /// zero for RDMA which is zero-copy).
+    pub copy_ns_per_byte: f64,
+    /// Memory-registration base cost (`ibv_reg_mr`); irrelevant for IPoIB.
+    pub reg_base: Duration,
+    /// Memory-registration per-byte cost (page pinning).
+    pub reg_ns_per_byte: f64,
+    /// Host memcpy cost per byte (DRAM streaming copy), used for bounce
+    /// buffers and response copy-out.
+    pub memcpy_ns_per_byte: f64,
+}
+
+impl FabricProfile {
+    /// Scale every latency/cost uniformly (0.0 = free, for logic tests).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.link = self.link.scaled(factor);
+        self.per_message_cpu = scale_dur(self.per_message_cpu, factor);
+        self.copy_ns_per_byte *= factor;
+        self.reg_base = scale_dur(self.reg_base, factor);
+        self.reg_ns_per_byte *= factor;
+        self.memcpy_ns_per_byte *= factor;
+        self
+    }
+
+    /// Registration cost for a buffer of `bytes`.
+    pub fn reg_cost(&self, bytes: usize) -> Duration {
+        self.reg_base + Duration::from_nanos((bytes as f64 * self.reg_ns_per_byte).round() as u64)
+    }
+
+    /// Host memcpy cost for `bytes`.
+    pub fn memcpy_cost(&self, bytes: usize) -> Duration {
+        Duration::from_nanos((bytes as f64 * self.memcpy_ns_per_byte).round() as u64)
+    }
+
+    /// Kernel copy cost for `bytes` (one end).
+    pub fn copy_cost(&self, bytes: usize) -> Duration {
+        Duration::from_nanos((bytes as f64 * self.copy_ns_per_byte).round() as u64)
+    }
+}
+
+/// Native RDMA over 56 Gbps FDR InfiniBand.
+///
+/// ~1.7 us one-way small-message latency, ~6 GB/s effective large-message
+/// bandwidth, zero-copy, but memory registration is expensive (which is
+/// what makes `bset`'s pre-registered bounce buffers worthwhile).
+pub fn fdr_rdma() -> FabricProfile {
+    FabricProfile {
+        name: "rdma-fdr",
+        link: LatencyModel::from_bandwidth_gbps(Duration::from_nanos(1_700), 6.0),
+        per_message_cpu: Duration::from_nanos(250),
+        copy_ns_per_byte: 0.0,
+        reg_base: Duration::from_micros(12),
+        reg_ns_per_byte: 0.08,
+        memcpy_ns_per_byte: 0.10,
+    }
+}
+
+/// TCP/IP over the same FDR HCA (IPoIB).
+///
+/// Kernel TCP stack: ~18 us small-message latency, ~1.3 GB/s effective
+/// bandwidth, plus a per-byte socket copy on each end.
+pub fn ipoib() -> FabricProfile {
+    FabricProfile {
+        name: "ipoib-fdr",
+        link: LatencyModel::from_bandwidth_gbps(Duration::from_nanos(18_000), 1.3),
+        per_message_cpu: Duration::from_micros(3),
+        copy_ns_per_byte: 0.25,
+        reg_base: Duration::ZERO,
+        reg_ns_per_byte: 0.0,
+        memcpy_ns_per_byte: 0.10,
+    }
+}
+
+/// A free transport for logic tests: every cost is zero.
+pub fn loopback() -> FabricProfile {
+    FabricProfile {
+        name: "loopback",
+        link: LatencyModel::zero(),
+        per_message_cpu: Duration::ZERO,
+        copy_ns_per_byte: 0.0,
+        reg_base: Duration::ZERO,
+        reg_ns_per_byte: 0.0,
+        memcpy_ns_per_byte: 0.0,
+    }
+}
+
+fn scale_dur(d: Duration, f: f64) -> Duration {
+    Duration::from_nanos((d.as_nanos() as f64 * f).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_beats_ipoib_small_messages() {
+        let r = fdr_rdma().link.one_way(64);
+        let i = ipoib().link.one_way(64);
+        let ratio = i.as_nanos() as f64 / r.as_nanos() as f64;
+        assert!(ratio > 8.0, "RDMA should be ~10x IPoIB for 64B, got {ratio:.1}x");
+    }
+
+    #[test]
+    fn rdma_beats_ipoib_bandwidth() {
+        let r = fdr_rdma().link.bandwidth_gbps().unwrap();
+        let i = ipoib().link.bandwidth_gbps().unwrap();
+        assert!(r / i > 4.0);
+    }
+
+    #[test]
+    fn registration_costs_grow_with_size() {
+        let p = fdr_rdma();
+        assert!(p.reg_cost(1 << 20) > p.reg_cost(1 << 10));
+        assert!(p.reg_cost(0) == p.reg_base);
+        // 1 MB registration lands in the tens-of-microseconds range.
+        let mb = p.reg_cost(1 << 20);
+        assert!(mb > Duration::from_micros(50) && mb < Duration::from_micros(500));
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let p = loopback();
+        assert_eq!(p.link.one_way(1 << 20), Duration::ZERO);
+        assert_eq!(p.reg_cost(1 << 20), Duration::ZERO);
+        assert_eq!(p.memcpy_cost(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn scaled_zero_makes_everything_free() {
+        let p = fdr_rdma().scaled(0.0);
+        assert_eq!(p.link.one_way(4096), Duration::ZERO);
+        assert_eq!(p.per_message_cpu, Duration::ZERO);
+        assert_eq!(p.reg_cost(4096), Duration::ZERO);
+    }
+
+    #[test]
+    fn ipoib_charges_copies() {
+        let p = ipoib();
+        assert!(p.copy_cost(32 << 10) > Duration::from_micros(5));
+        assert_eq!(fdr_rdma().copy_cost(32 << 10), Duration::ZERO);
+    }
+}

@@ -1,0 +1,219 @@
+//! Profile-aware transport endpoints.
+//!
+//! [`Transport`] wraps a raw [`Conn`] and charges the *host-side* costs of
+//! the chosen [`FabricProfile`] to the calling task:
+//!
+//! - RDMA: a sub-microsecond descriptor post per message, zero copies.
+//! - IPoIB: per-message TCP-stack CPU plus a per-byte kernel copy on each
+//!   end — which is exactly why the paper's `IPoIB-Mem` baseline loses.
+
+use bytes::Bytes;
+use nbkv_simrt::{Receiver, Sim};
+
+use crate::conn::{pair, Conn};
+use crate::link::{Disconnected, Link, SendTicket};
+use crate::profiles::FabricProfile;
+
+/// One endpoint of a profile-aware bidirectional transport.
+pub struct Transport {
+    sim: Sim,
+    profile: FabricProfile,
+    conn: Conn,
+}
+
+/// Send half of a split [`Transport`]. Clonable.
+#[derive(Clone)]
+pub struct TransportTx {
+    sim: Sim,
+    profile: FabricProfile,
+    link: Link,
+}
+
+/// Receive half of a split [`Transport`].
+pub struct TransportRx {
+    sim: Sim,
+    profile: FabricProfile,
+    rx: Receiver<Bytes>,
+}
+
+/// Create a connected transport pair using `profile` in both directions.
+pub fn transport_pair(sim: &Sim, profile: FabricProfile) -> (Transport, Transport) {
+    let (a, b) = pair(sim, profile.link);
+    (
+        Transport {
+            sim: sim.clone(),
+            profile,
+            conn: a,
+        },
+        Transport {
+            sim: sim.clone(),
+            profile,
+            conn: b,
+        },
+    )
+}
+
+impl Transport {
+    /// Send a message, charging the caller the profile's host-side send
+    /// costs (descriptor post; kernel copy for IPoIB).
+    pub async fn send(&self, payload: Bytes) -> Result<SendTicket, Disconnected> {
+        send_with(&self.sim, &self.profile, payload, |b| self.conn.send(b)).await
+    }
+
+    /// Receive the next message, charging host-side receive costs.
+    pub async fn recv(&self) -> Option<Bytes> {
+        let msg = self.conn.recv().await?;
+        charge_recv(&self.sim, &self.profile, msg.len()).await;
+        Some(msg)
+    }
+
+    /// Split into send and receive halves.
+    pub fn split(self) -> (TransportTx, TransportRx) {
+        let (link, rx) = self.conn.split();
+        (
+            TransportTx {
+                sim: self.sim.clone(),
+                profile: self.profile,
+                link,
+            },
+            TransportRx {
+                sim: self.sim,
+                profile: self.profile,
+                rx,
+            },
+        )
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> &FabricProfile {
+        &self.profile
+    }
+}
+
+impl TransportTx {
+    /// See [`Transport::send`].
+    pub async fn send(&self, payload: Bytes) -> Result<SendTicket, Disconnected> {
+        send_with(&self.sim, &self.profile, payload, |b| self.link.send(b)).await
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> &FabricProfile {
+        &self.profile
+    }
+
+    /// True while the peer is alive.
+    pub fn is_open(&self) -> bool {
+        self.link.is_open()
+    }
+}
+
+impl TransportRx {
+    /// See [`Transport::recv`].
+    pub async fn recv(&self) -> Option<Bytes> {
+        let msg = self.rx.recv().await?;
+        charge_recv(&self.sim, &self.profile, msg.len()).await;
+        Some(msg)
+    }
+
+    /// Non-waiting receive; applies no receive-cost (callers that poll must
+    /// charge [`FabricProfile::per_message_cpu`] themselves if they consume
+    /// a message).
+    pub fn try_recv(&self) -> Option<Bytes> {
+        self.rx.try_recv().ok()
+    }
+}
+
+async fn send_with<F>(
+    sim: &Sim,
+    profile: &FabricProfile,
+    payload: Bytes,
+    post: F,
+) -> Result<SendTicket, Disconnected>
+where
+    F: FnOnce(Bytes) -> Result<SendTicket, Disconnected>,
+{
+    let host_cost = profile.per_message_cpu + profile.copy_cost(payload.len());
+    if !host_cost.is_zero() {
+        sim.sleep(host_cost).await;
+    }
+    post(payload)
+}
+
+async fn charge_recv(sim: &Sim, profile: &FabricProfile, len: usize) {
+    let host_cost = profile.per_message_cpu + profile.copy_cost(len);
+    if !host_cost.is_zero() {
+        sim.sleep(host_cost).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{fdr_rdma, ipoib, loopback};
+
+    fn ping_pong_us(profile: FabricProfile, len: usize) -> u64 {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (client, server) = transport_pair(&sim2, profile);
+            sim2.spawn(async move {
+                while let Some(msg) = server.recv().await {
+                    if server.send(msg).await.is_err() {
+                        break;
+                    }
+                }
+            });
+            client.send(Bytes::from(vec![0u8; len])).await.unwrap();
+            client.recv().await.unwrap();
+            sim2.now().as_nanos() / 1_000
+        })
+    }
+
+    #[test]
+    fn rdma_round_trip_is_microseconds() {
+        let us = ping_pong_us(fdr_rdma(), 64);
+        assert!((3..=10).contains(&us), "64B RDMA round trip {us}us");
+    }
+
+    #[test]
+    fn ipoib_round_trip_is_tens_of_microseconds() {
+        let us = ping_pong_us(ipoib(), 64);
+        assert!((30..=80).contains(&us), "64B IPoIB round trip {us}us");
+    }
+
+    #[test]
+    fn ratio_holds_for_32k_values() {
+        let r = ping_pong_us(fdr_rdma(), 32 << 10);
+        let i = ping_pong_us(ipoib(), 32 << 10);
+        let ratio = i as f64 / r as f64;
+        assert!(
+            (2.0..=12.0).contains(&ratio),
+            "IPoIB/RDMA 32KB ratio {ratio:.1} (rdma={r}us ipoib={i}us)"
+        );
+    }
+
+    #[test]
+    fn loopback_costs_nothing() {
+        assert_eq!(ping_pong_us(loopback(), 1 << 20), 0);
+    }
+
+    #[test]
+    fn split_transport_round_trip() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (client, server) = transport_pair(&sim2, fdr_rdma());
+            let (s_tx, s_rx) = server.split();
+            sim2.spawn(async move {
+                while let Some(msg) = s_rx.recv().await {
+                    if s_tx.send(msg).await.is_err() {
+                        break;
+                    }
+                }
+            });
+            let (c_tx, c_rx) = client.split();
+            c_tx.send(Bytes::from_static(b"hello")).await.unwrap();
+            assert_eq!(&c_rx.recv().await.unwrap()[..], b"hello");
+        });
+    }
+}

@@ -1,0 +1,483 @@
+//! A verbs-flavoured veneer: queue pairs and completion queues.
+//!
+//! This mirrors the shape of the ibverbs API the paper's RDMA engine is
+//! built on: work requests are *posted* (never blocking), and completions
+//! surface later on completion queues. Send completions fire when the NIC
+//! has finished reading the buffer (`sent_at`); receive completions fire
+//! when a message arrives and a receive work request is available to
+//! consume it.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nbkv_simrt::{Sim, SimTime};
+
+use crate::conn::pair;
+use crate::latency::LatencyModel;
+use crate::link::{Disconnected, Link};
+
+/// Completion opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WcOpcode {
+    /// A posted send finished (buffer reusable).
+    Send,
+    /// A message arrived and was matched to a posted receive.
+    Recv,
+    /// A one-sided RDMA write finished (remote memory updated, no remote
+    /// CPU involvement).
+    RdmaWrite,
+    /// A one-sided RDMA read finished (data available in `data`).
+    RdmaRead,
+}
+
+/// A work completion.
+#[derive(Debug, Clone)]
+pub struct WorkCompletion {
+    /// Caller-chosen work-request id.
+    pub wr_id: u64,
+    /// What completed.
+    pub opcode: WcOpcode,
+    /// Payload length.
+    pub byte_len: usize,
+    /// Received payload (for `Recv` completions).
+    pub data: Option<Bytes>,
+    /// Virtual instant the completion was generated.
+    pub completed_at: SimTime,
+}
+
+/// A completion queue; poll it to harvest completions.
+#[derive(Clone, Default)]
+pub struct CompletionQueue {
+    events: Rc<RefCell<VecDeque<WorkCompletion>>>,
+}
+
+impl CompletionQueue {
+    fn push(&self, wc: WorkCompletion) {
+        self.events.borrow_mut().push_back(wc);
+    }
+
+    /// Harvest up to `max` completions (like `ibv_poll_cq`).
+    pub fn poll(&self, max: usize) -> Vec<WorkCompletion> {
+        let mut q = self.events.borrow_mut();
+        let n = max.min(q.len());
+        q.drain(..n).collect()
+    }
+
+    /// Completions currently queued.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// True if no completions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct RecvState {
+    /// Messages that arrived before a receive WR was posted.
+    unclaimed: VecDeque<Bytes>,
+    /// Posted receive WRs awaiting messages.
+    posted: VecDeque<u64>,
+}
+
+/// A remotely-accessible registered memory window (the target of one-sided
+/// operations). The owning side exposes it; the peer reads/writes it
+/// without involving the owner's CPU.
+#[derive(Clone, Default)]
+pub struct RemoteWindow {
+    mem: Rc<RefCell<Vec<u8>>>,
+}
+
+impl RemoteWindow {
+    /// Allocate a window of `len` zeroed bytes.
+    pub fn new(len: usize) -> Self {
+        RemoteWindow {
+            mem: Rc::new(RefCell::new(vec![0u8; len])),
+        }
+    }
+
+    /// Window length.
+    pub fn len(&self) -> usize {
+        self.mem.borrow().len()
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Local (owner-side) read of the window contents.
+    pub fn peek(&self, offset: usize, len: usize) -> Bytes {
+        Bytes::copy_from_slice(&self.mem.borrow()[offset..offset + len])
+    }
+
+    /// Local (owner-side) write into the window.
+    pub fn poke(&self, offset: usize, data: &[u8]) {
+        self.mem.borrow_mut()[offset..offset + data.len()].copy_from_slice(data);
+    }
+}
+
+/// One side of a reliable-connected queue pair.
+pub struct QueuePair {
+    sim: Sim,
+    tx: Link,
+    send_cq: CompletionQueue,
+    recv_cq: CompletionQueue,
+    recv: Rc<RefCell<RecvState>>,
+    /// The peer's exposed memory window (for one-sided operations).
+    peer_window: RefCell<Option<RemoteWindow>>,
+}
+
+impl QueuePair {
+    /// Create a connected QP pair over a link with `model`.
+    pub fn connect(sim: &Sim, model: LatencyModel) -> (QueuePair, QueuePair) {
+        let (a, b) = pair(sim, model);
+        (Self::wrap(sim, a), Self::wrap(sim, b))
+    }
+
+    fn wrap(sim: &Sim, conn: crate::conn::Conn) -> QueuePair {
+        let (tx, rx) = conn.split();
+        let recv = Rc::new(RefCell::new(RecvState {
+            unclaimed: VecDeque::new(),
+            posted: VecDeque::new(),
+        }));
+        let recv_cq = CompletionQueue::default();
+        let qp = QueuePair {
+            sim: sim.clone(),
+            tx,
+            send_cq: CompletionQueue::default(),
+            recv_cq: recv_cq.clone(),
+            recv: Rc::clone(&recv),
+            peer_window: RefCell::new(None),
+        };
+        // Pump task: match arrivals against posted receive WRs.
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            while let Some(msg) = rx.recv().await {
+                let mut st = recv.borrow_mut();
+                match st.posted.pop_front() {
+                    Some(wr_id) => recv_cq.push(WorkCompletion {
+                        wr_id,
+                        opcode: WcOpcode::Recv,
+                        byte_len: msg.len(),
+                        data: Some(msg),
+                        completed_at: sim2.now(),
+                    }),
+                    None => st.unclaimed.push_back(msg),
+                }
+            }
+        });
+        qp
+    }
+
+    /// Post a send WR. If `signaled`, a `Send` completion lands on the send
+    /// CQ when the NIC finishes reading the buffer.
+    pub fn post_send(&self, wr_id: u64, payload: Bytes, signaled: bool) -> Result<(), Disconnected> {
+        let len = payload.len();
+        let ticket = self.tx.send(payload)?;
+        if signaled {
+            let cq = self.send_cq.clone();
+            self.sim.schedule_at(ticket.sent_at(), move |sim| {
+                cq.push(WorkCompletion {
+                    wr_id,
+                    opcode: WcOpcode::Send,
+                    byte_len: len,
+                    data: None,
+                    completed_at: sim.now(),
+                });
+            });
+        }
+        Ok(())
+    }
+
+    /// Post a receive WR; it consumes the next (or an already-arrived)
+    /// message and produces a `Recv` completion.
+    pub fn post_recv(&self, wr_id: u64) {
+        let mut st = self.recv.borrow_mut();
+        match st.unclaimed.pop_front() {
+            Some(msg) => self.recv_cq.push(WorkCompletion {
+                wr_id,
+                opcode: WcOpcode::Recv,
+                byte_len: msg.len(),
+                data: Some(msg),
+                completed_at: self.sim.now(),
+            }),
+            None => st.posted.push_back(wr_id),
+        }
+    }
+
+    /// Bind the peer's exposed [`RemoteWindow`] so one-sided operations
+    /// can target it (models exchanging rkeys at connection setup).
+    pub fn bind_peer_window(&self, window: RemoteWindow) {
+        *self.peer_window.borrow_mut() = Some(window);
+    }
+
+    /// One-sided RDMA WRITE: place `data` at `remote_offset` in the peer's
+    /// window without involving the peer's CPU. The completion fires one
+    /// full network traversal after the post (when the data is placed).
+    pub fn post_rdma_write(
+        &self,
+        wr_id: u64,
+        remote_offset: usize,
+        data: Bytes,
+    ) -> Result<(), Disconnected> {
+        let window = self
+            .peer_window
+            .borrow()
+            .clone()
+            .expect("bind_peer_window before one-sided ops");
+        if !self.tx.is_open() {
+            return Err(Disconnected);
+        }
+        let len = data.len();
+        // One-sided ops traverse the same wire: serialization + propagation.
+        let ticket = self.tx.send(Bytes::new())?; // header descriptor
+        let model = self.tx.model();
+        let placed_at = ticket.sent_at() + model.serialization(len) + model.propagation();
+        let cq = self.send_cq.clone();
+        self.sim.schedule_at(placed_at, move |sim| {
+            window.poke(remote_offset, &data);
+            cq.push(WorkCompletion {
+                wr_id,
+                opcode: WcOpcode::RdmaWrite,
+                byte_len: len,
+                data: None,
+                completed_at: sim.now(),
+            });
+        });
+        Ok(())
+    }
+
+    /// One-sided RDMA READ: fetch `len` bytes from `remote_offset` in the
+    /// peer's window. The completion carries the data after a full round
+    /// trip (request propagation + data transfer back).
+    pub fn post_rdma_read(
+        &self,
+        wr_id: u64,
+        remote_offset: usize,
+        len: usize,
+    ) -> Result<(), Disconnected> {
+        let window = self
+            .peer_window
+            .borrow()
+            .clone()
+            .expect("bind_peer_window before one-sided ops");
+        if !self.tx.is_open() {
+            return Err(Disconnected);
+        }
+        let model = self.tx.model();
+        // Request goes out (tiny), data comes back (len bytes).
+        let done_at = self.sim.now()
+            + model.propagation()
+            + model.serialization(len)
+            + model.propagation();
+        let cq = self.send_cq.clone();
+        self.sim.schedule_at(done_at, move |sim| {
+            let data = window.peek(remote_offset, len);
+            cq.push(WorkCompletion {
+                wr_id,
+                opcode: WcOpcode::RdmaRead,
+                byte_len: len,
+                data: Some(data),
+                completed_at: sim.now(),
+            });
+        });
+        Ok(())
+    }
+
+    /// The send completion queue.
+    pub fn send_cq(&self) -> &CompletionQueue {
+        &self.send_cq
+    }
+
+    /// The receive completion queue.
+    pub fn recv_cq(&self) -> &CompletionQueue {
+        &self.recv_cq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn model() -> LatencyModel {
+        LatencyModel::from_bandwidth_gbps(Duration::from_micros(2), 1.0)
+    }
+
+    #[test]
+    fn signaled_send_completes_at_sent_time() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, _qp_b) = QueuePair::connect(&sim2, model());
+            qp_a.post_send(7, Bytes::from(vec![0u8; 952]), true).unwrap();
+            assert!(qp_a.send_cq().is_empty());
+            sim2.sleep(Duration::from_micros(1)).await; // 1000B wire = 1us
+            let wcs = qp_a.send_cq().poll(16);
+            assert_eq!(wcs.len(), 1);
+            assert_eq!(wcs[0].wr_id, 7);
+            assert_eq!(wcs[0].opcode, WcOpcode::Send);
+        });
+    }
+
+    #[test]
+    fn unsignaled_send_produces_no_completion() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, _qp_b) = QueuePair::connect(&sim2, model());
+            qp_a.post_send(1, Bytes::from_static(b"x"), false).unwrap();
+            sim2.sleep(Duration::from_millis(1)).await;
+            assert!(qp_a.send_cq().is_empty());
+        });
+    }
+
+    #[test]
+    fn posted_recv_matches_arrival() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, qp_b) = QueuePair::connect(&sim2, model());
+            qp_b.post_recv(42);
+            qp_a.post_send(1, Bytes::from_static(b"hello"), false).unwrap();
+            sim2.sleep(Duration::from_micros(10)).await;
+            let wcs = qp_b.recv_cq().poll(16);
+            assert_eq!(wcs.len(), 1);
+            assert_eq!(wcs[0].wr_id, 42);
+            assert_eq!(&wcs[0].data.as_ref().unwrap()[..], b"hello");
+        });
+    }
+
+    #[test]
+    fn early_arrival_waits_for_recv_wr() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, qp_b) = QueuePair::connect(&sim2, model());
+            qp_a.post_send(1, Bytes::from_static(b"early"), false).unwrap();
+            sim2.sleep(Duration::from_micros(10)).await;
+            assert!(qp_b.recv_cq().is_empty());
+            qp_b.post_recv(9);
+            let wcs = qp_b.recv_cq().poll(16);
+            assert_eq!(wcs.len(), 1);
+            assert_eq!(wcs[0].wr_id, 9);
+        });
+    }
+
+    #[test]
+    fn completions_preserve_message_order() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, qp_b) = QueuePair::connect(&sim2, model());
+            for i in 0..5u64 {
+                qp_b.post_recv(i);
+            }
+            for i in 0..5u8 {
+                qp_a.post_send(i as u64, Bytes::from(vec![i; 4]), false).unwrap();
+            }
+            sim2.sleep(Duration::from_millis(1)).await;
+            let wcs = qp_b.recv_cq().poll(16);
+            assert_eq!(wcs.len(), 5);
+            for (i, wc) in wcs.iter().enumerate() {
+                assert_eq!(wc.wr_id, i as u64);
+                assert_eq!(wc.data.as_ref().unwrap()[0], i as u8);
+            }
+        });
+    }
+
+    #[test]
+    fn cq_poll_respects_max() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, _qp_b) = QueuePair::connect(&sim2, LatencyModel::zero());
+            for i in 0..10u64 {
+                qp_a.post_send(i, Bytes::from_static(b"z"), true).unwrap();
+            }
+            sim2.sleep(Duration::from_micros(1)).await;
+            assert_eq!(qp_a.send_cq().poll(3).len(), 3);
+            assert_eq!(qp_a.send_cq().len(), 7);
+        });
+    }
+}
+
+#[cfg(test)]
+mod one_sided_tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn model() -> LatencyModel {
+        LatencyModel::from_bandwidth_gbps(Duration::from_micros(2), 1.0)
+    }
+
+    #[test]
+    fn rdma_write_places_data_without_peer_cpu() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, _qp_b) = QueuePair::connect(&sim2, model());
+            let window = RemoteWindow::new(4096);
+            qp_a.bind_peer_window(window.clone());
+            qp_a.post_rdma_write(1, 100, Bytes::from_static(b"one-sided"))
+                .unwrap();
+            assert!(qp_a.send_cq().is_empty(), "completion is asynchronous");
+            sim2.sleep(Duration::from_micros(50)).await;
+            let wcs = qp_a.send_cq().poll(4);
+            assert_eq!(wcs.len(), 1);
+            assert_eq!(wcs[0].opcode, WcOpcode::RdmaWrite);
+            // The data landed in the peer's memory; its CPU never ran.
+            assert_eq!(&window.peek(100, 9)[..], b"one-sided");
+        });
+    }
+
+    #[test]
+    fn rdma_read_fetches_remote_bytes() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, _qp_b) = QueuePair::connect(&sim2, model());
+            let window = RemoteWindow::new(1024);
+            window.poke(0, b"server-resident-value");
+            qp_a.bind_peer_window(window);
+            qp_a.post_rdma_read(2, 0, 21).unwrap();
+            sim2.sleep(Duration::from_micros(100)).await;
+            let wcs = qp_a.send_cq().poll(4);
+            assert_eq!(wcs.len(), 1);
+            assert_eq!(wcs[0].opcode, WcOpcode::RdmaRead);
+            assert_eq!(&wcs[0].data.as_ref().unwrap()[..], b"server-resident-value");
+        });
+    }
+
+    #[test]
+    fn rdma_read_takes_a_round_trip() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, _qp_b) = QueuePair::connect(&sim2, model());
+            let window = RemoteWindow::new(64);
+            qp_a.bind_peer_window(window);
+            qp_a.post_rdma_read(3, 0, 16).unwrap();
+            // Two propagations (2us each) + 16B serialization.
+            sim2.sleep(Duration::from_micros(3)).await;
+            assert!(qp_a.send_cq().is_empty(), "not before a round trip");
+            sim2.sleep(Duration::from_micros(2)).await;
+            assert_eq!(qp_a.send_cq().poll(1).len(), 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "bind_peer_window")]
+    fn one_sided_without_window_panics() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, _qp_b) = QueuePair::connect(&sim2, model());
+            let _ = qp_a.post_rdma_write(1, 0, Bytes::from_static(b"x"));
+        });
+    }
+}

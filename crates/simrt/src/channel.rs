@@ -1,0 +1,386 @@
+//! Multi-producer single-consumer channels for simulation tasks.
+//!
+//! Values are delivered at the virtual instant `send` is called; channels
+//! themselves add no latency (latency belongs to the fabric/device models
+//! built on top).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    capacity: Option<usize>,
+    recv_waker: Option<Waker>,
+    send_wakers: VecDeque<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+impl<T> ChanState<T> {
+    fn wake_receiver(&mut self) {
+        if let Some(w) = self.recv_waker.take() {
+            w.wake();
+        }
+    }
+
+    fn wake_one_sender(&mut self) {
+        if let Some(w) = self.send_wakers.pop_front() {
+            w.wake();
+        }
+    }
+}
+
+/// Error returned by [`Sender::send`] when the receiver has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No value currently queued.
+    Empty,
+    /// All senders dropped and the queue is drained.
+    Closed,
+}
+
+/// Sending half of a channel. Clonable.
+pub struct Sender<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+/// Receiving half of a channel.
+pub struct Receiver<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+/// Create an unbounded channel: `send` never waits.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    make(None)
+}
+
+/// Create a bounded channel: `send` waits (in virtual time) while the queue
+/// holds `capacity` values. `capacity` must be nonzero.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "bounded channel capacity must be nonzero");
+    make(Some(capacity))
+}
+
+fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(RefCell::new(ChanState {
+        queue: VecDeque::new(),
+        capacity,
+        recv_waker: None,
+        send_wakers: VecDeque::new(),
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            state: Rc::clone(&state),
+        },
+        Receiver { state },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().senders += 1;
+        Sender {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.borrow_mut();
+        s.senders -= 1;
+        if s.senders == 0 {
+            s.wake_receiver();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.borrow_mut();
+        s.receiver_alive = false;
+        // Senders blocked on a full bounded queue must observe the close.
+        while let Some(w) = s.send_wakers.pop_front() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send without waiting. On a bounded channel this ignores the capacity
+    /// limit (used by event-scheduled deliveries that must not block).
+    pub fn send_now(&self, value: T) -> Result<(), SendError<T>> {
+        let mut s = self.state.borrow_mut();
+        if !s.receiver_alive {
+            return Err(SendError(value));
+        }
+        s.queue.push_back(value);
+        s.wake_receiver();
+        Ok(())
+    }
+
+    /// Send, waiting (in virtual time) for space on a bounded channel.
+    pub fn send(&self, value: T) -> SendFuture<'_, T> {
+        SendFuture {
+            sender: self,
+            value: Some(value),
+        }
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// True if no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if the receiver is still alive.
+    pub fn is_open(&self) -> bool {
+        self.state.borrow().receiver_alive
+    }
+}
+
+/// Future returned by [`Sender::send`].
+pub struct SendFuture<'a, T> {
+    sender: &'a Sender<T>,
+    value: Option<T>,
+}
+
+// No self-references: safe to move between polls.
+impl<T> Unpin for SendFuture<'_, T> {}
+
+impl<T> Future for SendFuture<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut s = this.sender.state.borrow_mut();
+        let value = this
+            .value
+            .take()
+            .expect("SendFuture polled after completion");
+        if !s.receiver_alive {
+            return Poll::Ready(Err(SendError(value)));
+        }
+        match s.capacity {
+            Some(cap) if s.queue.len() >= cap => {
+                s.send_wakers.push_back(cx.waker().clone());
+                drop(s);
+                this.value = Some(value);
+                Poll::Pending
+            }
+            _ => {
+                s.queue.push_back(value);
+                s.wake_receiver();
+                Poll::Ready(Ok(()))
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive the next value, waiting in virtual time. Resolves to `None`
+    /// once every sender is dropped and the queue is drained.
+    pub fn recv(&self) -> RecvFuture<'_, T> {
+        RecvFuture { receiver: self }
+    }
+
+    /// Non-waiting receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut s = self.state.borrow_mut();
+        match s.queue.pop_front() {
+            Some(v) => {
+                s.wake_one_sender();
+                Ok(v)
+            }
+            None if s.senders == 0 => Err(TryRecvError::Closed),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// True if no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct RecvFuture<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Future for RecvFuture<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut s = self.receiver.state.borrow_mut();
+        match s.queue.pop_front() {
+            Some(v) => {
+                s.wake_one_sender();
+                Poll::Ready(Some(v))
+            }
+            None if s.senders == 0 => Poll::Ready(None),
+            None => {
+                s.recv_waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_send_recv_in_order() {
+        let sim = Sim::new();
+        let out = sim.run_until(async {
+            let (tx, rx) = channel();
+            for i in 0..5 {
+                tx.send_now(i).unwrap();
+            }
+            let mut got = Vec::new();
+            for _ in 0..5 {
+                got.push(rx.recv().await.unwrap());
+            }
+            got
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_waits_for_late_sender() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let out = sim.run_until(async move {
+            let (tx, rx) = channel();
+            let s = sim2.clone();
+            sim2.spawn(async move {
+                s.sleep(Duration::from_micros(25)).await;
+                tx.send_now(99u32).unwrap();
+            });
+            let v = rx.recv().await.unwrap();
+            (v, sim2.now().as_nanos())
+        });
+        assert_eq!(out, (99, 25_000));
+    }
+
+    #[test]
+    fn recv_returns_none_when_all_senders_dropped() {
+        let sim = Sim::new();
+        let out = sim.run_until(async {
+            let (tx, rx) = channel::<u32>();
+            tx.send_now(1).unwrap();
+            drop(tx);
+            let first = rx.recv().await;
+            let second = rx.recv().await;
+            (first, second)
+        });
+        assert_eq!(out, (Some(1), None));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_dropped() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (tx, rx) = channel::<u32>();
+            drop(rx);
+            assert_eq!(tx.send_now(7), Err(SendError(7)));
+            assert!(!tx.is_open());
+        });
+    }
+
+    #[test]
+    fn try_recv_reports_empty_and_closed() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (tx, rx) = channel::<u32>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send_now(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(3));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Closed));
+        });
+    }
+
+    #[test]
+    fn bounded_send_waits_for_space() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).await.unwrap();
+            tx.send(2).await.unwrap();
+            let s = sim2.clone();
+            let h = sim2.spawn(async move {
+                tx.send(3).await.unwrap(); // blocks until a slot frees
+                s.now().as_nanos()
+            });
+            sim2.sleep(Duration::from_micros(40)).await;
+            assert_eq!(rx.recv().await, Some(1));
+            let sent_at = h.await;
+            assert_eq!(sent_at, 40_000);
+            assert_eq!(rx.recv().await, Some(2));
+            assert_eq!(rx.recv().await, Some(3));
+        });
+    }
+
+    #[test]
+    fn bounded_senders_unblock_fifo() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(0).await.unwrap();
+            for i in 1..=3u32 {
+                let tx = tx.clone();
+                sim2.spawn(async move {
+                    tx.send(i).await.unwrap();
+                });
+            }
+            sim2.sleep(Duration::from_micros(1)).await;
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                got.push(rx.recv().await.unwrap());
+            }
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn cloned_senders_share_channel() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (tx, rx) = channel::<u32>();
+            let tx2 = tx.clone();
+            tx.send_now(1).unwrap();
+            tx2.send_now(2).unwrap();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, Some(2));
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+}

@@ -1,0 +1,160 @@
+//! Combinators: `join_all` and `yield_now`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Await every future in `futs`, returning their outputs in order.
+///
+/// Futures are polled in index order each time any of them wakes; they make
+/// progress concurrently in virtual time.
+pub async fn join_all<F>(futs: Vec<F>) -> Vec<F::Output>
+where
+    F: Future,
+{
+    JoinAll {
+        slots: futs
+            .into_iter()
+            .map(|f| Slot {
+                fut: Some(Box::pin(f)),
+                out: None,
+            })
+            .collect(),
+    }
+    .await
+}
+
+struct Slot<F: Future> {
+    fut: Option<Pin<Box<F>>>,
+    out: Option<F::Output>,
+}
+
+struct JoinAll<F: Future> {
+    slots: Vec<Slot<F>>,
+}
+
+// The inner futures are boxed, so JoinAll itself is freely movable.
+impl<F: Future> Unpin for JoinAll<F> {}
+
+impl<F: Future> Future for JoinAll<F> {
+    type Output = Vec<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut all_done = true;
+        for slot in &mut this.slots {
+            if let Some(fut) = slot.fut.as_mut() {
+                match fut.as_mut().poll(cx) {
+                    Poll::Ready(v) => {
+                        slot.out = Some(v);
+                        slot.fut = None;
+                    }
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            let outs = this
+                .slots
+                .iter_mut()
+                .map(|s| s.out.take().expect("JoinAll polled after completion"))
+                .collect();
+            Poll::Ready(outs)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Yield to the executor once: other ready tasks run before this task
+/// resumes (at the same virtual instant).
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+    use std::time::Duration;
+
+    #[test]
+    fn join_all_returns_outputs_in_order() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let out = sim.run_until(async move {
+            let futs: Vec<_> = (0..5u64)
+                .map(|i| {
+                    let s = sim2.clone();
+                    async move {
+                        // Later indices sleep less; outputs must still be ordered.
+                        s.sleep(Duration::from_micros(10 - i)).await;
+                        i
+                    }
+                })
+                .collect();
+            join_all(futs).await
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_all_runs_concurrently() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let futs: Vec<_> = (0..8)
+                .map(|_| {
+                    let s = sim2.clone();
+                    async move { s.sleep(Duration::from_micros(100)).await }
+                })
+                .collect();
+            join_all(futs).await;
+            assert_eq!(sim2.now().as_nanos(), 100_000);
+        });
+    }
+
+    #[test]
+    fn join_all_empty() {
+        let sim = Sim::new();
+        let out: Vec<u32> = sim.run_until(async { join_all(Vec::<std::future::Ready<u32>>::new()).await });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let l1 = std::rc::Rc::clone(&log);
+        let l2 = std::rc::Rc::clone(&log);
+        sim.run_until(async move {
+            let h = sim2.spawn(async move {
+                l1.borrow_mut().push("peer");
+            });
+            yield_now().await;
+            l2.borrow_mut().push("main");
+            h.await;
+        });
+        assert_eq!(*log.borrow(), vec!["peer", "main"]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulation components measure and charge time as [`SimTime`] —
+//! nanoseconds since the start of the simulation. Spans are ordinary
+//! [`std::time::Duration`] values so call sites read naturally
+//! (`sim.sleep(Duration::from_micros(2))`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant on the virtual clock: nanoseconds since simulation start.
+///
+/// `SimTime` is a plain `u64`, totally ordered, and never goes backwards
+/// during a run. It plays the role [`std::time::Instant`] plays in
+/// wall-clock code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw nanoseconds since simulation start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds since simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time since simulation start as a [`Duration`].
+    pub const fn since_start(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Saturating difference `self - earlier`, zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        Duration::from_nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0 as f64 / 1_000.0;
+        if us < 1_000.0 {
+            write!(f, "{us:.2}us")
+        } else if us < 1_000_000.0 {
+            write!(f, "{:.3}ms", us / 1_000.0)
+        } else {
+            write!(f, "{:.4}s", us / 1_000_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_advances() {
+        let t = SimTime::ZERO + Duration::from_micros(5);
+        assert_eq!(t.as_nanos(), 5_000);
+        assert_eq!(t, SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn subtraction_gives_span() {
+        let a = SimTime::from_nanos(10_000);
+        let b = SimTime::from_nanos(4_000);
+        assert_eq!(a - b, Duration::from_nanos(6_000));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(40);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_nanos(30));
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimTime::from_nanos(1_500)), "1.50us");
+        assert_eq!(format!("{}", SimTime::from_micros(2_500)), "2.500ms");
+        assert_eq!(format!("{}", SimTime::from_micros(3_000_000)), "3.0000s");
+    }
+}

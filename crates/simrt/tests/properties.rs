@@ -1,0 +1,136 @@
+//! Property-based tests of the discrete-event executor.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use nbkv_simrt::{channel, join_all, Semaphore, Sim};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events fire in nondecreasing virtual time, whatever the schedule.
+    #[test]
+    fn event_timeline_is_monotone(delays in prop::collection::vec(0u64..100_000, 1..200)) {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for d in &delays {
+            let log = Rc::clone(&log);
+            sim.schedule_in(Duration::from_nanos(*d), move |s| {
+                log.borrow_mut().push(s.now().as_nanos());
+            });
+        }
+        sim.run();
+        let fired = log.borrow();
+        prop_assert_eq!(fired.len(), delays.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut sorted = delays.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&*fired, &sorted);
+    }
+
+    /// Identical programs produce identical timelines (determinism).
+    #[test]
+    fn timelines_are_reproducible(delays in prop::collection::vec(0u64..50_000, 1..100)) {
+        fn run(delays: &[u64]) -> (u64, u64) {
+            let sim = Sim::new();
+            for (i, d) in delays.iter().enumerate() {
+                let s = sim.clone();
+                let d = *d;
+                sim.spawn(async move {
+                    s.sleep(Duration::from_nanos(d)).await;
+                    s.sleep(Duration::from_nanos((i as u64 * 13) % 97)).await;
+                });
+            }
+            let end = sim.run();
+            (end.as_nanos(), sim.stats().polls)
+        }
+        prop_assert_eq!(run(&delays), run(&delays));
+    }
+
+    /// join_all preserves input order regardless of completion order.
+    #[test]
+    fn join_all_preserves_order(delays in prop::collection::vec(0u64..10_000, 1..50)) {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let d2 = delays.clone();
+        let out = sim.run_until(async move {
+            let futs: Vec<_> = d2
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    let s = sim2.clone();
+                    async move {
+                        s.sleep(Duration::from_nanos(d)).await;
+                        i
+                    }
+                })
+                .collect();
+            join_all(futs).await
+        });
+        prop_assert_eq!(out, (0..delays.len()).collect::<Vec<_>>());
+    }
+
+    /// A semaphore never admits more than its permit count concurrently.
+    #[test]
+    fn semaphore_never_oversubscribes(
+        permits in 1usize..8,
+        tasks in 1usize..40,
+        hold_ns in 1u64..5_000,
+    ) {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let peak = Rc::new(RefCell::new((0usize, 0usize))); // (current, max)
+        sim.run_until({
+            let peak = Rc::clone(&peak);
+            async move {
+                let sem = Semaphore::new(permits);
+                let hs: Vec<_> = (0..tasks)
+                    .map(|_| {
+                        let sem = sem.clone();
+                        let s = sim2.clone();
+                        let peak = Rc::clone(&peak);
+                        sim2.spawn(async move {
+                            let _p = sem.acquire().await;
+                            {
+                                let mut pk = peak.borrow_mut();
+                                pk.0 += 1;
+                                pk.1 = pk.1.max(pk.0);
+                            }
+                            s.sleep(Duration::from_nanos(hold_ns)).await;
+                            peak.borrow_mut().0 -= 1;
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.await;
+                }
+            }
+        });
+        prop_assert!(peak.borrow().1 <= permits);
+    }
+
+    /// Channels deliver every message exactly once, in order.
+    #[test]
+    fn channel_is_fifo_lossless(count in 1usize..500) {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        let got = sim.run_until(async move {
+            let (tx, rx) = channel();
+            sim2.spawn(async move {
+                for i in 0..count {
+                    tx.send_now(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while got.len() < count {
+                got.push(rx.recv().await.unwrap());
+            }
+            got
+        });
+        prop_assert_eq!(got, (0..count).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,435 @@
+//! The simulated SSD block device.
+//!
+//! Service model: each command (read or write) occupies one of
+//! `queue_depth` channels for `base + bytes/bandwidth` of virtual time;
+//! commands beyond the queue depth wait for the earliest-free channel.
+//! Data is held sparsely in RAM (64 KiB extents), so a mostly-empty 320 GB
+//! device costs nothing.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nbkv_simrt::{Sim, SimTime};
+
+use crate::profile::DeviceProfile;
+
+/// Sparse-extent granularity of the in-RAM backing store.
+const EXTENT: usize = 64 << 10;
+
+/// Device error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An access extends past the device capacity.
+    OutOfCapacity {
+        /// Requested end offset.
+        end: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfCapacity { end, capacity } => {
+                write!(f, "access to offset {end} exceeds device capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Device counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Read commands serviced.
+    pub reads: u64,
+    /// Write commands serviced.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Garbage-collection stalls taken.
+    pub gc_stalls: u64,
+}
+
+/// A simulated SSD.
+pub struct SsdDevice {
+    sim: Sim,
+    profile: DeviceProfile,
+    /// Busy-until cursor per parallel command channel.
+    channels: RefCell<Vec<SimTime>>,
+    extents: RefCell<HashMap<u64, Box<[u8]>>>,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    bytes_read: Cell<u64>,
+    bytes_written: Cell<u64>,
+    /// Bytes written since the last GC stall.
+    gc_accumulator: Cell<u64>,
+    gc_stalls: Cell<u64>,
+}
+
+impl SsdDevice {
+    /// Create a device with the given profile.
+    pub fn new(sim: &Sim, profile: DeviceProfile) -> Rc<Self> {
+        assert!(profile.queue_depth >= 1);
+        Rc::new(SsdDevice {
+            sim: sim.clone(),
+            profile,
+            channels: RefCell::new(vec![SimTime::ZERO; profile.queue_depth]),
+            extents: RefCell::new(HashMap::new()),
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+            bytes_read: Cell::new(0),
+            bytes_written: Cell::new(0),
+            gc_accumulator: Cell::new(0),
+            gc_stalls: Cell::new(0),
+        })
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DeviceStats {
+        DeviceStats {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+            gc_stalls: self.gc_stalls.get(),
+        }
+    }
+
+    /// Read `len` bytes at `offset`, waiting the device service time.
+    /// Unwritten regions read as zeros.
+    pub async fn read(&self, offset: u64, len: usize) -> Result<Bytes, DeviceError> {
+        self.check_range(offset, len)?;
+        self.service(self.profile.read_cost(len)).await;
+        self.reads.set(self.reads.get() + 1);
+        self.bytes_read.set(self.bytes_read.get() + len as u64);
+        Ok(self.copy_out(offset, len))
+    }
+
+    /// Write `data` at `offset`, waiting the device service time. Durable
+    /// once the future resolves. This is the *queued asynchronous* write
+    /// cost (what writeback/flusher paths pay).
+    pub async fn write(&self, offset: u64, data: &[u8]) -> Result<(), DeviceError> {
+        self.write_with_cost(offset, data, self.profile.write_cost(data.len()))
+            .await
+    }
+
+    /// Synchronous (barriered) write — the cost direct I/O pays; see
+    /// [`DeviceProfile::sync_write_cost`].
+    pub async fn write_sync(&self, offset: u64, data: &[u8]) -> Result<(), DeviceError> {
+        self.write_with_cost(offset, data, self.profile.sync_write_cost(data.len()))
+            .await
+    }
+
+    async fn write_with_cost(
+        &self,
+        offset: u64,
+        data: &[u8],
+        mut cost: std::time::Duration,
+    ) -> Result<(), DeviceError> {
+        self.check_range(offset, data.len())?;
+        // Flash GC: after every gc_window_bytes written, one command pays
+        // the reclamation stall.
+        if self.profile.gc_window_bytes > 0 {
+            let acc = self.gc_accumulator.get() + data.len() as u64;
+            if acc >= self.profile.gc_window_bytes {
+                self.gc_accumulator.set(acc % self.profile.gc_window_bytes);
+                self.gc_stalls.set(self.gc_stalls.get() + 1);
+                cost += self.profile.gc_stall;
+            } else {
+                self.gc_accumulator.set(acc);
+            }
+        }
+        self.service(cost).await;
+        self.writes.set(self.writes.get() + 1);
+        self.bytes_written
+            .set(self.bytes_written.get() + data.len() as u64);
+        self.copy_in(offset, data);
+        Ok(())
+    }
+
+    /// Peek stored contents with no timing (test/verification helper).
+    pub fn peek(&self, offset: u64, len: usize) -> Bytes {
+        self.copy_out(offset, len)
+    }
+
+    /// True if any extent overlapping `[offset, offset+len)` has ever been
+    /// written. Filesystems use this to skip read-modify-write for holes.
+    pub fn has_data(&self, offset: u64, len: usize) -> bool {
+        let extents = self.extents.borrow();
+        let first = offset / EXTENT as u64;
+        let last = (offset + len.max(1) as u64 - 1) / EXTENT as u64;
+        (first..=last).any(|i| extents.contains_key(&i))
+    }
+
+    fn check_range(&self, offset: u64, len: usize) -> Result<(), DeviceError> {
+        let end = offset + len as u64;
+        if end > self.profile.capacity {
+            return Err(DeviceError::OutOfCapacity {
+                end,
+                capacity: self.profile.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Occupy the earliest-free channel for `cost`, waiting until done.
+    async fn service(&self, cost: std::time::Duration) {
+        let end = {
+            let mut chans = self.channels.borrow_mut();
+            let (idx, _) = chans
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| **t)
+                .expect("queue_depth >= 1");
+            let start = self.sim.now().max(chans[idx]);
+            let end = start + cost;
+            chans[idx] = end;
+            end
+        };
+        self.sim.sleep_until(end).await;
+    }
+
+    fn copy_out(&self, offset: u64, len: usize) -> Bytes {
+        let mut out = vec![0u8; len];
+        let extents = self.extents.borrow();
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = offset + pos as u64;
+            let ext_idx = abs / EXTENT as u64;
+            let ext_off = (abs % EXTENT as u64) as usize;
+            let n = (EXTENT - ext_off).min(len - pos);
+            if let Some(ext) = extents.get(&ext_idx) {
+                out[pos..pos + n].copy_from_slice(&ext[ext_off..ext_off + n]);
+            }
+            pos += n;
+        }
+        Bytes::from(out)
+    }
+
+    fn copy_in(&self, offset: u64, data: &[u8]) {
+        let mut extents = self.extents.borrow_mut();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos as u64;
+            let ext_idx = abs / EXTENT as u64;
+            let ext_off = (abs % EXTENT as u64) as usize;
+            let n = (EXTENT - ext_off).min(data.len() - pos);
+            let ext = extents
+                .entry(ext_idx)
+                .or_insert_with(|| vec![0u8; EXTENT].into_boxed_slice());
+            ext[ext_off..ext_off + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{instant_device, nvme_p3700, sata_ssd};
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, instant_device());
+            let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+            dev.write(12_345, &data).await.unwrap();
+            let got = dev.read(12_345, data.len()).await.unwrap();
+            assert_eq!(&got[..], &data[..]);
+        });
+    }
+
+    #[test]
+    fn unwritten_regions_read_zero() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, instant_device());
+            dev.write(100, b"abc").await.unwrap();
+            let got = dev.read(98, 8).await.unwrap();
+            assert_eq!(&got[..], &[0, 0, b'a', b'b', b'c', 0, 0, 0]);
+        });
+    }
+
+    #[test]
+    fn read_costs_service_time() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, sata_ssd());
+            dev.read(0, 32 << 10).await.unwrap();
+            let want = sata_ssd().read_cost(32 << 10);
+            assert_eq!(sim2.now().since_start(), want);
+        });
+    }
+
+    #[test]
+    fn sata_commands_serialize() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, sata_ssd());
+            let reads: Vec<_> = (0..4)
+                .map(|i| {
+                    let dev = Rc::clone(&dev);
+                    sim2.spawn(async move {
+                        dev.read(i * 4096, 4096).await.unwrap();
+                    })
+                })
+                .collect();
+            for r in reads {
+                r.await;
+            }
+            // Queue depth 1: four reads take 4x one read.
+            let one = sata_ssd().read_cost(4096);
+            assert_eq!(sim2.now().since_start(), one * 4);
+        });
+    }
+
+    #[test]
+    fn nvme_commands_overlap_up_to_queue_depth() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, nvme_p3700());
+            let reads: Vec<_> = (0..8)
+                .map(|i| {
+                    let dev = Rc::clone(&dev);
+                    sim2.spawn(async move {
+                        dev.read(i * 4096, 4096).await.unwrap();
+                    })
+                })
+                .collect();
+            for r in reads {
+                r.await;
+            }
+            // Queue depth 8: eight reads take ~one service time.
+            let one = nvme_p3700().read_cost(4096);
+            assert_eq!(sim2.now().since_start(), one);
+        });
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let mut profile = instant_device();
+            profile.capacity = 1024;
+            let dev = SsdDevice::new(&sim2, profile);
+            assert!(dev.write(1000, &[0u8; 24]).await.is_ok());
+            let err = dev.write(1000, &[0u8; 25]).await.unwrap_err();
+            assert_eq!(
+                err,
+                DeviceError::OutOfCapacity {
+                    end: 1025,
+                    capacity: 1024
+                }
+            );
+            assert!(dev.read(0, 2000).await.is_err());
+        });
+    }
+
+    #[test]
+    fn stats_track_commands_and_bytes() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, instant_device());
+            dev.write(0, &[1u8; 100]).await.unwrap();
+            dev.read(0, 50).await.unwrap();
+            dev.read(0, 50).await.unwrap();
+            assert_eq!(
+                dev.stats(),
+                DeviceStats {
+                    reads: 2,
+                    writes: 1,
+                    bytes_read: 100,
+                    bytes_written: 100,
+                    gc_stalls: 0,
+                }
+            );
+        });
+    }
+
+    #[test]
+    fn cross_extent_write_round_trips() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, instant_device());
+            // Spans three 64 KiB extents.
+            let data: Vec<u8> = (0..EXTENT * 2 + 100).map(|i| (i % 13) as u8).collect();
+            let off = (EXTENT - 50) as u64;
+            dev.write(off, &data).await.unwrap();
+            let got = dev.read(off, data.len()).await.unwrap();
+            assert_eq!(&got[..], &data[..]);
+        });
+    }
+}
+
+#[cfg(test)]
+mod gc_tests {
+    use super::*;
+    use crate::profile::instant_device;
+    use std::time::Duration;
+
+    #[test]
+    fn gc_stalls_fire_per_window() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let profile = instant_device().with_gc(1 << 20, Duration::from_millis(5));
+            let dev = SsdDevice::new(&sim2, profile);
+            // 4 MiB of writes -> 4 GC stalls -> 20 ms of stall time.
+            for i in 0..16u64 {
+                dev.write(i * (256 << 10), &[1u8; 256 << 10]).await.unwrap();
+            }
+            assert_eq!(dev.stats().gc_stalls, 4);
+            assert_eq!(sim2.now().since_start(), Duration::from_millis(20));
+        });
+    }
+
+    #[test]
+    fn gc_disabled_by_default() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, instant_device());
+            for i in 0..64u64 {
+                dev.write(i * (256 << 10), &[1u8; 256 << 10]).await.unwrap();
+            }
+            assert_eq!(dev.stats().gc_stalls, 0);
+            assert_eq!(sim2.now().since_start(), Duration::ZERO);
+        });
+    }
+
+    #[test]
+    fn reads_never_trigger_gc() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let profile = instant_device().with_gc(1024, Duration::from_millis(1));
+            let dev = SsdDevice::new(&sim2, profile);
+            for _ in 0..100 {
+                dev.read(0, 4096).await.unwrap();
+            }
+            assert_eq!(dev.stats().gc_stalls, 0);
+        });
+    }
+}

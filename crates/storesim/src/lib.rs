@@ -1,0 +1,34 @@
+//! # nbkv-storesim — simulated SSDs and I/O schemes
+//!
+//! Virtual-time models of the storage substrate under the paper's hybrid
+//! slab manager:
+//!
+//! - [`SsdDevice`]: a block device with calibrated access latency,
+//!   bandwidth, and command-queue parallelism ([`profile::sata_ssd`] /
+//!   [`profile::nvme_p3700`]); data is held sparsely in RAM.
+//! - [`PageCache`]: OS-buffered write-back I/O with background writeback
+//!   and kernel-style dirty throttling (the "cached I/O" scheme).
+//! - [`MmapRegion`]: memory-mapped I/O with per-page soft-fault costs and
+//!   a background flusher (the "mmap" scheme).
+//! - [`SlabIo`]: one facade over all three schemes keyed by [`IoScheme`],
+//!   used by the server's adaptive slab allocator (Figure 5 of the paper).
+//!
+//! The Figure 4 result — direct I/O worst everywhere, mmap best for small
+//! evictions, cached best for large — is a property of these models and is
+//! asserted in this crate's tests.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod lru;
+pub mod mmapio;
+pub mod pagecache;
+pub mod profile;
+pub mod scheme;
+
+pub use device::{DeviceError, DeviceStats, SsdDevice};
+pub use lru::LruMap;
+pub use mmapio::{MmapConfig, MmapRegion, MmapStats};
+pub use pagecache::{PageCache, PageCacheConfig, PageCacheStats};
+pub use profile::{instant_device, nvme_p3700, sata_ssd, DeviceProfile, HostModel};
+pub use scheme::{IoScheme, SlabIo, SlabIoConfig};

@@ -1,0 +1,498 @@
+//! Simulated memory-mapped I/O (the "mmap" scheme).
+//!
+//! Writes to an mmap-ed region cost a soft page fault on the first touch
+//! of each page plus a memcpy — no per-call syscall, which is why mmap
+//! wins for *small* evictions, while the per-page fault overhead makes it
+//! lose to buffered I/O for *large* ones (Figure 4 of the paper).
+//!
+//! Dirty pages are flushed by `msync` or by a background flusher task with
+//! the same dirty-threshold behaviour as the page cache.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nbkv_simrt::{Notify, Sim};
+
+use crate::device::{DeviceError, SsdDevice};
+use crate::lru::LruMap;
+use crate::profile::HostModel;
+
+/// Mmap region configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MmapConfig {
+    /// Hardware page granularity (default 64 KiB to match the cache).
+    pub page_size: usize,
+    /// Maximum resident bytes before page reclaim.
+    pub resident_limit_bytes: u64,
+    /// Background flusher starts above this many dirty bytes.
+    pub dirty_background_bytes: u64,
+    /// Writers throttle above this many dirty bytes.
+    pub dirty_limit_bytes: u64,
+    /// Host cost model.
+    pub host: HostModel,
+}
+
+impl MmapConfig {
+    /// Defaults for a region allowed `resident_limit_bytes` of residency.
+    pub fn with_resident_limit(resident_limit_bytes: u64, host: HostModel) -> Self {
+        MmapConfig {
+            page_size: 64 << 10,
+            resident_limit_bytes,
+            dirty_background_bytes: resident_limit_bytes / 4,
+            dirty_limit_bytes: resident_limit_bytes / 2,
+            host,
+        }
+    }
+}
+
+/// Mmap counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmapStats {
+    /// Soft page faults (first touches).
+    pub faults: u64,
+    /// Page accesses that found the page resident.
+    pub hits: u64,
+    /// Pages flushed (msync + background).
+    pub flushed_pages: u64,
+    /// Times a writer throttled on the dirty limit.
+    pub throttle_waits: u64,
+}
+
+struct MPage {
+    data: Box<[u8]>,
+    dirty_epoch: u64,
+}
+
+/// A memory-mapped view of a device region `[base, base + len)`.
+pub struct MmapRegion {
+    sim: Sim,
+    dev: Rc<SsdDevice>,
+    base: u64,
+    len: u64,
+    cfg: MmapConfig,
+    resident: RefCell<LruMap<u64, MPage>>,
+    dirty: RefCell<BTreeSet<u64>>,
+    dirty_bytes: Cell<u64>,
+    epoch: Cell<u64>,
+    flush_notify: Notify,
+    throttle_notify: Notify,
+    stats: RefCell<MmapStats>,
+}
+
+impl MmapRegion {
+    /// Map `[base, base+len)` of `dev`; spawns the background flusher.
+    pub fn new(sim: &Sim, dev: Rc<SsdDevice>, base: u64, len: u64, cfg: MmapConfig) -> Rc<Self> {
+        assert!(cfg.page_size > 0);
+        assert_eq!(base % cfg.page_size as u64, 0, "base must be page-aligned");
+        let region = Rc::new(MmapRegion {
+            sim: sim.clone(),
+            dev,
+            base,
+            len,
+            cfg,
+            resident: RefCell::new(LruMap::new()),
+            dirty: RefCell::new(BTreeSet::new()),
+            dirty_bytes: Cell::new(0),
+            epoch: Cell::new(0),
+            flush_notify: Notify::new(),
+            throttle_notify: Notify::new(),
+            stats: RefCell::new(MmapStats::default()),
+        });
+        let fl = Rc::clone(&region);
+        sim.spawn(async move { fl.flusher_loop().await });
+        region
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MmapStats {
+        *self.stats.borrow()
+    }
+
+    /// Bytes currently dirty.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty_bytes.get()
+    }
+
+    /// Store `data` at region-relative `rel_off`: per-page faults on first
+    /// touch plus one memcpy; no syscall.
+    pub async fn write(&self, rel_off: u64, data: &[u8]) -> Result<(), DeviceError> {
+        self.check_range(rel_off, data.len())?;
+        let ps = self.cfg.page_size as u64;
+        let first = rel_off / ps;
+        let last = (rel_off + data.len() as u64 - 1) / ps;
+        for page_idx in first..=last {
+            let page_start = page_idx * ps;
+            let lo = rel_off.max(page_start);
+            let hi = (rel_off + data.len() as u64).min(page_start + ps);
+            let partial = !(lo == page_start && hi == page_start + ps);
+            self.fault_in(page_idx, partial).await?;
+            {
+                let mut resident = self.resident.borrow_mut();
+                let page = resident
+                    .peek_mut(&page_idx)
+                    .expect("page resident after fault_in");
+                let dst = (lo - page_start) as usize;
+                let src = (lo - rel_off) as usize;
+                let n = (hi - lo) as usize;
+                page.data[dst..dst + n].copy_from_slice(&data[src..src + n]);
+                if page.dirty_epoch == 0 {
+                    self.dirty_bytes.set(self.dirty_bytes.get() + ps);
+                    self.dirty.borrow_mut().insert(page_idx);
+                }
+                let e = self.epoch.get() + 1;
+                self.epoch.set(e);
+                page.dirty_epoch = e;
+            }
+            self.reclaim_for_residency().await?;
+        }
+        let cost = self.cfg.host.memcpy_cost(data.len());
+        if !cost.is_zero() {
+            self.sim.sleep(cost).await;
+        }
+        if self.dirty_bytes.get() > self.cfg.dirty_background_bytes {
+            self.flush_notify.notify_one();
+        }
+        while self.dirty_bytes.get() > self.cfg.dirty_limit_bytes {
+            self.stats.borrow_mut().throttle_waits += 1;
+            self.flush_notify.notify_one();
+            self.throttle_notify.notified().await;
+        }
+        Ok(())
+    }
+
+    /// Load `len` bytes at region-relative `rel_off`.
+    pub async fn read(&self, rel_off: u64, len: usize) -> Result<Bytes, DeviceError> {
+        self.check_range(rel_off, len)?;
+        let ps = self.cfg.page_size as u64;
+        let first = rel_off / ps;
+        let last = (rel_off + len.max(1) as u64 - 1) / ps;
+        for page_idx in first..=last {
+            self.fault_in(page_idx, true).await?;
+            self.reclaim_for_residency().await?;
+        }
+        let cost = self.cfg.host.memcpy_cost(len);
+        if !cost.is_zero() {
+            self.sim.sleep(cost).await;
+        }
+        let mut out = vec![0u8; len];
+        let mut resident = self.resident.borrow_mut();
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = rel_off + pos as u64;
+            let page_idx = abs / ps;
+            let page_off = (abs % ps) as usize;
+            let n = (self.cfg.page_size - page_off).min(len - pos);
+            let page = resident.touch(&page_idx).expect("page resident for read");
+            out[pos..pos + n].copy_from_slice(&page.data[page_off..page_off + n]);
+            pos += n;
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Flush all dirty pages to the device (like `msync(MS_SYNC)`).
+    pub async fn msync(&self) -> Result<(), DeviceError> {
+        loop {
+            let flushed = self.flush_one_batch().await?;
+            if flushed == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    fn check_range(&self, rel_off: u64, len: usize) -> Result<(), DeviceError> {
+        let end = rel_off + len as u64;
+        if end > self.len {
+            return Err(DeviceError::OutOfCapacity {
+                end: self.base + end,
+                capacity: self.base + self.len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Make `page_idx` resident, charging a fault on first touch. `load`
+    /// controls whether an absent page reads device content.
+    async fn fault_in(&self, page_idx: u64, load: bool) -> Result<(), DeviceError> {
+        if self.resident.borrow_mut().touch(&page_idx).is_some() {
+            self.stats.borrow_mut().hits += 1;
+            return Ok(());
+        }
+        self.stats.borrow_mut().faults += 1;
+        if !self.cfg.host.fault.is_zero() {
+            self.sim.sleep(self.cfg.host.fault).await;
+        }
+        let ps = self.cfg.page_size;
+        // Hole pages map the zero page; no device read.
+        let load = load && self.dev.has_data(self.base + page_idx * ps as u64, ps);
+        let data: Box<[u8]> = if load {
+            let bytes = self.dev.read(self.base + page_idx * ps as u64, ps).await?;
+            if self.resident.borrow_mut().touch(&page_idx).is_some() {
+                return Ok(()); // concurrent fault won the race
+            }
+            bytes.to_vec().into_boxed_slice()
+        } else {
+            vec![0u8; ps].into_boxed_slice()
+        };
+        self.resident.borrow_mut().insert(
+            page_idx,
+            MPage {
+                data,
+                dirty_epoch: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Reclaim LRU pages while over the residency limit; dirty victims are
+    /// written back first.
+    async fn reclaim_for_residency(&self) -> Result<(), DeviceError> {
+        loop {
+            let over = {
+                let resident = self.resident.borrow();
+                (resident.len() * self.cfg.page_size) as u64 > self.cfg.resident_limit_bytes
+            };
+            if !over {
+                return Ok(());
+            }
+            let Some(page_idx) = self.resident.borrow().lru_key() else {
+                return Ok(());
+            };
+            let dirty_copy: Option<(Box<[u8]>, u64)> = {
+                let resident = self.resident.borrow();
+                resident
+                    .peek(&page_idx)
+                    .filter(|p| p.dirty_epoch != 0)
+                    .map(|p| (p.data.clone(), p.dirty_epoch))
+            };
+            if let Some((data, epoch)) = dirty_copy {
+                self.dev
+                    .write(self.base + page_idx * self.cfg.page_size as u64, &data)
+                    .await?;
+                self.mark_clean_if_unchanged(page_idx, epoch);
+                self.stats.borrow_mut().flushed_pages += 1;
+            }
+            let mut resident = self.resident.borrow_mut();
+            let is_clean = resident
+                .peek(&page_idx)
+                .is_some_and(|p| p.dirty_epoch == 0);
+            if is_clean {
+                resident.remove(&page_idx);
+            }
+        }
+    }
+
+    async fn flusher_loop(self: Rc<Self>) {
+        loop {
+            self.flush_notify.notified().await;
+            while self.dirty_bytes.get() > self.cfg.dirty_background_bytes / 2 {
+                match self.flush_one_batch().await {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                self.throttle_notify.notify_waiters();
+            }
+            self.throttle_notify.notify_waiters();
+        }
+    }
+
+    async fn flush_one_batch(&self) -> Result<usize, DeviceError> {
+        let run: Vec<(u64, Box<[u8]>, u64)> = {
+            let dirty = self.dirty.borrow();
+            let resident = self.resident.borrow();
+            let mut run = Vec::new();
+            let mut expect: Option<u64> = None;
+            for &idx in dirty.iter() {
+                if let Some(e) = expect {
+                    if idx != e {
+                        break;
+                    }
+                }
+                let Some(p) = resident.peek(&idx) else { continue };
+                run.push((idx, p.data.clone(), p.dirty_epoch));
+                if run.len() >= 16 {
+                    break;
+                }
+                expect = Some(idx + 1);
+            }
+            run
+        };
+        if run.is_empty() {
+            return Ok(0);
+        }
+        let ps = self.cfg.page_size;
+        let base = self.base + run[0].0 * ps as u64;
+        let mut buf = Vec::with_capacity(run.len() * ps);
+        for (_, data, _) in &run {
+            buf.extend_from_slice(data);
+        }
+        self.dev.write(base, &buf).await?;
+        let mut flushed = 0usize;
+        for (idx, _, epoch) in run {
+            if self.mark_clean_if_unchanged(idx, epoch) {
+                flushed += 1;
+            }
+        }
+        self.stats.borrow_mut().flushed_pages += flushed as u64;
+        Ok(flushed.max(1))
+    }
+
+    fn mark_clean_if_unchanged(&self, page_idx: u64, epoch: u64) -> bool {
+        let mut resident = self.resident.borrow_mut();
+        let Some(p) = resident.peek_mut(&page_idx) else {
+            return false;
+        };
+        if p.dirty_epoch != epoch {
+            return false;
+        }
+        p.dirty_epoch = 0;
+        drop(resident);
+        self.dirty.borrow_mut().remove(&page_idx);
+        self.dirty_bytes
+            .set(self.dirty_bytes.get() - self.cfg.page_size as u64);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{instant_device, sata_ssd};
+
+    fn region_with(
+        sim: &Sim,
+        dev_profile: crate::profile::DeviceProfile,
+        resident: u64,
+        host: HostModel,
+    ) -> (Rc<MmapRegion>, Rc<SsdDevice>) {
+        let dev = SsdDevice::new(sim, dev_profile);
+        let cfg = MmapConfig::with_resident_limit(resident, host);
+        let region = MmapRegion::new(sim, Rc::clone(&dev), 0, 1 << 30, cfg);
+        (region, dev)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (mm, _dev) = region_with(&sim2, instant_device(), 16 << 20, HostModel::zero());
+            let data: Vec<u8> = (0..150_000).map(|i| (i % 241) as u8).collect();
+            mm.write(33_000, &data).await.unwrap();
+            let got = mm.read(33_000, data.len()).await.unwrap();
+            assert_eq!(&got[..], &data[..]);
+        });
+    }
+
+    #[test]
+    fn small_write_beats_syscall_path() {
+        // mmap charges a fault once; buffered I/O charges a syscall per call.
+        let host = HostModel::default_host();
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (mm, _dev) = region_with(&sim2, sata_ssd(), 64 << 20, host);
+            let t0 = sim2.now();
+            // Two writes to the same page: one fault total.
+            mm.write(0, &[1u8; 512]).await.unwrap();
+            mm.write(512, &[2u8; 512]).await.unwrap();
+            let mmap_cost = sim2.now() - t0;
+            let syscall_cost = host.syscall * 2 + host.memcpy_cost(1024);
+            assert!(
+                mmap_cost < syscall_cost,
+                "mmap {mmap_cost:?} vs syscalls {syscall_cost:?}"
+            );
+            assert_eq!(mm.stats().faults, 1);
+        });
+    }
+
+    #[test]
+    fn large_write_pays_per_page_faults() {
+        let host = HostModel::default_host();
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (mm, _dev) = region_with(&sim2, sata_ssd(), 64 << 20, host);
+            mm.write(0, &vec![1u8; 1 << 20]).await.unwrap();
+            assert_eq!(mm.stats().faults, 16); // 1 MiB / 64 KiB
+        });
+    }
+
+    #[test]
+    fn msync_persists_to_device() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (mm, dev) = region_with(&sim2, instant_device(), 16 << 20, HostModel::zero());
+            mm.write(128 << 10, &[5u8; 100]).await.unwrap();
+            mm.msync().await.unwrap();
+            assert_eq!(mm.dirty_bytes(), 0);
+            assert_eq!(&dev.peek(128 << 10, 3)[..], &[5, 5, 5]);
+        });
+    }
+
+    #[test]
+    fn residency_limit_reclaims_pages() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (mm, _dev) = region_with(&sim2, instant_device(), 1 << 20, HostModel::zero());
+            for i in 0..64u64 {
+                mm.write(i * (64 << 10), &[i as u8; 64 << 10]).await.unwrap();
+            }
+            mm.msync().await.unwrap();
+            // All data still readable after reclaim (from device).
+            for i in 0..64u64 {
+                let got = mm.read(i * (64 << 10), 4).await.unwrap();
+                assert_eq!(got[0], i as u8);
+            }
+        });
+    }
+
+    #[test]
+    fn base_offset_respected_on_device() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, instant_device());
+            let cfg = MmapConfig::with_resident_limit(8 << 20, HostModel::zero());
+            let base = 128 << 20;
+            let mm = MmapRegion::new(&sim2, Rc::clone(&dev), base, 1 << 20, cfg);
+            mm.write(0, b"hello").await.unwrap();
+            mm.msync().await.unwrap();
+            assert_eq!(&dev.peek(base, 5)[..], b"hello");
+            assert_eq!(&dev.peek(0, 5)[..], &[0; 5]);
+        });
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, instant_device());
+            let cfg = MmapConfig::with_resident_limit(8 << 20, HostModel::zero());
+            let mm = MmapRegion::new(&sim2, dev, 0, 1 << 20, cfg);
+            assert!(mm.write((1 << 20) - 4, &[0u8; 8]).await.is_err());
+            assert!(mm.read(1 << 20, 1).await.is_err());
+        });
+    }
+
+    #[test]
+    fn partial_write_to_device_backed_page_preserves_content() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (mm, dev) = region_with(&sim2, instant_device(), 16 << 20, HostModel::zero());
+            dev.write(0, &[0xEEu8; 64 << 10]).await.unwrap();
+            mm.write(10, &[0x11u8; 10]).await.unwrap();
+            mm.msync().await.unwrap();
+            let got = dev.peek(0, 32);
+            assert_eq!(got[9], 0xEE);
+            assert_eq!(got[10], 0x11);
+            assert_eq!(got[19], 0x11);
+            assert_eq!(got[20], 0xEE);
+        });
+    }
+}

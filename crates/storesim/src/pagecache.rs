@@ -1,0 +1,530 @@
+//! Simulated OS page cache (the "cached I/O" scheme).
+//!
+//! Buffered writes cost a syscall plus a memcpy and complete at memory
+//! speed; dirty pages are flushed to the device by a background writeback
+//! task (batched into contiguous runs, like the kernel flusher threads).
+//! Two safety valves mirror the kernel's dirty accounting:
+//!
+//! - above `dirty_background_bytes` the writeback task starts flushing;
+//! - above `dirty_limit_bytes` writers are throttled until writeback
+//!   catches up — which is what keeps "cached I/O" from pretending the
+//!   device is infinitely fast in sustained-write experiments.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nbkv_simrt::{Notify, Sim};
+
+use crate::device::{DeviceError, SsdDevice};
+use crate::lru::LruMap;
+use crate::profile::HostModel;
+
+/// Page cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PageCacheConfig {
+    /// Cache page size (default 64 KiB).
+    pub page_size: usize,
+    /// Maximum bytes of cached pages.
+    pub capacity_bytes: u64,
+    /// Writeback starts above this many dirty bytes.
+    pub dirty_background_bytes: u64,
+    /// Writers throttle above this many dirty bytes.
+    pub dirty_limit_bytes: u64,
+    /// Pages per writeback batch (contiguous run).
+    pub writeback_batch_pages: usize,
+    /// Host cost model.
+    pub host: HostModel,
+}
+
+impl PageCacheConfig {
+    /// Kernel-flavoured defaults for a cache of `capacity_bytes`.
+    pub fn with_capacity(capacity_bytes: u64, host: HostModel) -> Self {
+        PageCacheConfig {
+            page_size: 64 << 10,
+            capacity_bytes,
+            dirty_background_bytes: capacity_bytes / 4,
+            dirty_limit_bytes: capacity_bytes / 2,
+            writeback_batch_pages: 16,
+            host,
+        }
+    }
+}
+
+/// Page-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Page lookups that hit the cache.
+    pub hits: u64,
+    /// Page lookups that missed (device read).
+    pub misses: u64,
+    /// Pages flushed by the background writeback task.
+    pub writeback_pages: u64,
+    /// Dirty pages flushed inline due to cache pressure.
+    pub inline_flushes: u64,
+    /// Times a writer was throttled on the dirty limit.
+    pub throttle_waits: u64,
+}
+
+struct Page {
+    data: Box<[u8]>,
+    /// 0 = clean; otherwise the epoch at which the page was last dirtied.
+    dirty_epoch: u64,
+}
+
+/// A write-back page cache in front of an [`SsdDevice`].
+pub struct PageCache {
+    sim: Sim,
+    dev: Rc<SsdDevice>,
+    cfg: PageCacheConfig,
+    pages: RefCell<LruMap<u64, Page>>,
+    dirty: RefCell<BTreeSet<u64>>,
+    dirty_bytes: Cell<u64>,
+    epoch: Cell<u64>,
+    wb_notify: Notify,
+    throttle_notify: Notify,
+    stats: RefCell<PageCacheStats>,
+}
+
+impl PageCache {
+    /// Create a page cache and spawn its background writeback task.
+    pub fn new(sim: &Sim, dev: Rc<SsdDevice>, cfg: PageCacheConfig) -> Rc<Self> {
+        assert!(cfg.page_size > 0 && cfg.writeback_batch_pages > 0);
+        assert!(cfg.dirty_background_bytes <= cfg.dirty_limit_bytes);
+        let cache = Rc::new(PageCache {
+            sim: sim.clone(),
+            dev,
+            cfg,
+            pages: RefCell::new(LruMap::new()),
+            dirty: RefCell::new(BTreeSet::new()),
+            dirty_bytes: Cell::new(0),
+            epoch: Cell::new(0),
+            wb_notify: Notify::new(),
+            throttle_notify: Notify::new(),
+            stats: RefCell::new(PageCacheStats::default()),
+        });
+        let wb = Rc::clone(&cache);
+        sim.spawn(async move { wb.writeback_loop().await });
+        cache
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PageCacheStats {
+        *self.stats.borrow()
+    }
+
+    /// Bytes currently dirty.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty_bytes.get()
+    }
+
+    /// Buffered write: syscall + memcpy now, device write deferred.
+    pub async fn write(&self, offset: u64, data: &[u8]) -> Result<(), DeviceError> {
+        let cost = self.cfg.host.syscall + self.cfg.host.memcpy_cost(data.len());
+        if !cost.is_zero() {
+            self.sim.sleep(cost).await;
+        }
+        let ps = self.cfg.page_size as u64;
+        let first = offset / ps;
+        let last = (offset + data.len() as u64 - 1) / ps;
+        for page_idx in first..=last {
+            let page_start = page_idx * ps;
+            let lo = offset.max(page_start);
+            let hi = (offset + data.len() as u64).min(page_start + ps);
+            let partial = !(lo == page_start && hi == page_start + ps);
+            self.ensure_present(page_idx, partial).await?;
+            {
+                // Copy the slice into the page and mark dirty.
+                let mut pages = self.pages.borrow_mut();
+                let page = pages
+                    .peek_mut(&page_idx)
+                    .expect("page present after ensure_present");
+                let dst_off = (lo - page_start) as usize;
+                let src_off = (lo - offset) as usize;
+                let n = (hi - lo) as usize;
+                page.data[dst_off..dst_off + n].copy_from_slice(&data[src_off..src_off + n]);
+                if page.dirty_epoch == 0 {
+                    self.dirty_bytes.set(self.dirty_bytes.get() + ps);
+                    self.dirty.borrow_mut().insert(page_idx);
+                }
+                let e = self.epoch.get() + 1;
+                self.epoch.set(e);
+                page.dirty_epoch = e;
+            }
+            self.evict_for_capacity().await?;
+        }
+        // Kick writeback / throttle on the kernel dirty thresholds.
+        if self.dirty_bytes.get() > self.cfg.dirty_background_bytes {
+            self.wb_notify.notify_one();
+        }
+        while self.dirty_bytes.get() > self.cfg.dirty_limit_bytes {
+            self.stats.borrow_mut().throttle_waits += 1;
+            self.wb_notify.notify_one();
+            self.throttle_notify.notified().await;
+        }
+        Ok(())
+    }
+
+    /// Buffered read: syscall + memcpy; misses load whole pages from the
+    /// device.
+    pub async fn read(&self, offset: u64, len: usize) -> Result<Bytes, DeviceError> {
+        if !self.cfg.host.syscall.is_zero() {
+            self.sim.sleep(self.cfg.host.syscall).await;
+        }
+        let ps = self.cfg.page_size as u64;
+        let first = offset / ps;
+        let last = (offset + len.max(1) as u64 - 1) / ps;
+        for page_idx in first..=last {
+            self.ensure_present(page_idx, true).await?;
+            self.evict_for_capacity().await?;
+        }
+        let cost = self.cfg.host.memcpy_cost(len);
+        if !cost.is_zero() {
+            self.sim.sleep(cost).await;
+        }
+        // Assemble after all pages are resident (touch for LRU recency).
+        let mut out = vec![0u8; len];
+        let mut pages = self.pages.borrow_mut();
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = offset + pos as u64;
+            let page_idx = abs / ps;
+            let page_off = (abs % ps) as usize;
+            let n = (self.cfg.page_size - page_off).min(len - pos);
+            let page = pages.touch(&page_idx).expect("page resident for read");
+            out[pos..pos + n].copy_from_slice(&page.data[page_off..page_off + n]);
+            pos += n;
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Flush every dirty page to the device and wait for completion.
+    pub async fn sync(&self) -> Result<(), DeviceError> {
+        loop {
+            let flushed = self.flush_one_batch().await?;
+            if flushed == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Make `page_idx` resident. `load` controls whether absent pages are
+    /// read from the device (true for reads/partial writes) or created
+    /// zeroed (full-page overwrite).
+    async fn ensure_present(&self, page_idx: u64, load: bool) -> Result<(), DeviceError> {
+        if self.pages.borrow_mut().touch(&page_idx).is_some() {
+            self.stats.borrow_mut().hits += 1;
+            return Ok(());
+        }
+        self.stats.borrow_mut().misses += 1;
+        let ps = self.cfg.page_size;
+        // Holes (never-written device ranges) need no read-modify-write.
+        let load = load && self.dev.has_data(page_idx * ps as u64, ps);
+        let data: Box<[u8]> = if load {
+            let bytes = self.dev.read(page_idx * ps as u64, ps).await?;
+            // The page may have been created by a concurrent writer while
+            // we waited on the device; never clobber newer content.
+            if self.pages.borrow_mut().touch(&page_idx).is_some() {
+                return Ok(());
+            }
+            bytes.to_vec().into_boxed_slice()
+        } else {
+            vec![0u8; ps].into_boxed_slice()
+        };
+        self.pages.borrow_mut().insert(
+            page_idx,
+            Page {
+                data,
+                dirty_epoch: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Evict LRU pages while over capacity; dirty victims are flushed
+    /// inline (cache pressure making buffered I/O pay device costs).
+    async fn evict_for_capacity(&self) -> Result<(), DeviceError> {
+        loop {
+            let over = {
+                let pages = self.pages.borrow();
+                (pages.len() * self.cfg.page_size) as u64 > self.cfg.capacity_bytes
+            };
+            if !over {
+                return Ok(());
+            }
+            let victim = self.pages.borrow().lru_key();
+            let Some(page_idx) = victim else {
+                return Ok(());
+            };
+            let dirty_copy: Option<(Box<[u8]>, u64)> = {
+                let pages = self.pages.borrow();
+                pages
+                    .peek(&page_idx)
+                    .filter(|p| p.dirty_epoch != 0)
+                    .map(|p| (p.data.clone(), p.dirty_epoch))
+            };
+            if let Some((data, epoch)) = dirty_copy {
+                self.stats.borrow_mut().inline_flushes += 1;
+                self.dev
+                    .write(page_idx * self.cfg.page_size as u64, &data)
+                    .await?;
+                self.mark_clean_if_unchanged(page_idx, epoch);
+            }
+            // Only drop the page if it is clean now (it may have been
+            // re-dirtied while the inline flush waited on the device).
+            let mut pages = self.pages.borrow_mut();
+            let is_clean = pages
+                .peek(&page_idx)
+                .is_some_and(|p| p.dirty_epoch == 0);
+            if is_clean {
+                pages.remove(&page_idx);
+            }
+        }
+    }
+
+    async fn writeback_loop(self: Rc<Self>) {
+        loop {
+            self.wb_notify.notified().await;
+            // Flush until we are comfortably below the background threshold.
+            while self.dirty_bytes.get() > self.cfg.dirty_background_bytes / 2 {
+                match self.flush_one_batch().await {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                self.throttle_notify.notify_waiters();
+            }
+            self.throttle_notify.notify_waiters();
+        }
+    }
+
+    /// Flush one contiguous run of dirty pages. Returns pages flushed.
+    async fn flush_one_batch(&self) -> Result<usize, DeviceError> {
+        // Snapshot a contiguous run of dirty pages (ascending offset).
+        let run: Vec<(u64, Box<[u8]>, u64)> = {
+            let dirty = self.dirty.borrow();
+            let pages = self.pages.borrow();
+            let mut run = Vec::new();
+            let mut expect: Option<u64> = None;
+            for &idx in dirty.iter() {
+                match expect {
+                    Some(e) if idx != e => break,
+                    _ => {}
+                }
+                let Some(p) = pages.peek(&idx) else { continue };
+                run.push((idx, p.data.clone(), p.dirty_epoch));
+                if run.len() >= self.cfg.writeback_batch_pages {
+                    break;
+                }
+                expect = Some(idx + 1);
+            }
+            run
+        };
+        if run.is_empty() {
+            return Ok(0);
+        }
+        let ps = self.cfg.page_size;
+        let base = run[0].0 * ps as u64;
+        let mut buf = Vec::with_capacity(run.len() * ps);
+        for (_, data, _) in &run {
+            buf.extend_from_slice(data);
+        }
+        self.dev.write(base, &buf).await?;
+        let mut flushed = 0;
+        for (idx, _, epoch) in run {
+            if self.mark_clean_if_unchanged(idx, epoch) {
+                flushed += 1;
+            }
+        }
+        let mut st = self.stats.borrow_mut();
+        st.writeback_pages += flushed as u64;
+        Ok(flushed.max(1))
+    }
+
+    /// Transition a page to clean if it was not re-dirtied since `epoch`.
+    fn mark_clean_if_unchanged(&self, page_idx: u64, epoch: u64) -> bool {
+        let mut pages = self.pages.borrow_mut();
+        let Some(p) = pages.peek_mut(&page_idx) else {
+            return false;
+        };
+        if p.dirty_epoch != epoch {
+            return false;
+        }
+        p.dirty_epoch = 0;
+        drop(pages);
+        self.dirty.borrow_mut().remove(&page_idx);
+        self.dirty_bytes
+            .set(self.dirty_bytes.get() - self.cfg.page_size as u64);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{instant_device, sata_ssd, HostModel};
+    use std::time::Duration;
+
+    fn cache_with(
+        sim: &Sim,
+        dev_profile: crate::profile::DeviceProfile,
+        capacity: u64,
+        host: HostModel,
+    ) -> (Rc<PageCache>, Rc<SsdDevice>) {
+        let dev = SsdDevice::new(sim, dev_profile);
+        let cfg = PageCacheConfig::with_capacity(capacity, host);
+        let cache = PageCache::new(sim, Rc::clone(&dev), cfg);
+        (cache, dev)
+    }
+
+    #[test]
+    fn write_read_round_trip_through_cache() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (cache, _dev) = cache_with(&sim2, instant_device(), 8 << 20, HostModel::zero());
+            let data: Vec<u8> = (0..200_000).map(|i| (i % 249) as u8).collect();
+            cache.write(70_000, &data).await.unwrap();
+            let got = cache.read(70_000, data.len()).await.unwrap();
+            assert_eq!(&got[..], &data[..]);
+        });
+    }
+
+    #[test]
+    fn buffered_write_is_much_cheaper_than_direct() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (cache, dev) =
+                cache_with(&sim2, sata_ssd(), 64 << 20, HostModel::default_host());
+            let slab = vec![7u8; 1 << 20];
+            let t0 = sim2.now();
+            cache.write(0, &slab).await.unwrap();
+            let cached_cost = sim2.now() - t0;
+            let direct_cost = dev.profile().write_cost(1 << 20);
+            assert!(
+                cached_cost.as_nanos() * 10 < direct_cost.as_nanos(),
+                "cached {cached_cost:?} vs direct {direct_cost:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn writeback_persists_to_device() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (cache, dev) = cache_with(&sim2, instant_device(), 8 << 20, HostModel::zero());
+            cache.write(0, &[9u8; 4096]).await.unwrap();
+            cache.sync().await.unwrap();
+            assert_eq!(cache.dirty_bytes(), 0);
+            assert_eq!(&dev.peek(0, 4)[..], &[9, 9, 9, 9]);
+        });
+    }
+
+    #[test]
+    fn read_after_writeback_hits_cache() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (cache, _dev) = cache_with(&sim2, sata_ssd(), 64 << 20, HostModel::zero());
+            cache.write(0, &[1u8; 4096]).await.unwrap();
+            cache.sync().await.unwrap();
+            let before = sim2.now();
+            cache.read(0, 4096).await.unwrap();
+            // Still resident: no device read time.
+            assert_eq!(sim2.now(), before);
+        });
+    }
+
+    #[test]
+    fn cold_read_pays_device_latency() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (cache, dev) = cache_with(&sim2, sata_ssd(), 64 << 20, HostModel::zero());
+            dev.write(0, &[3u8; 4096]).await.unwrap();
+            let t0 = sim2.now();
+            let got = cache.read(0, 4096).await.unwrap();
+            assert_eq!(got[0], 3);
+            // One 64 KiB page load.
+            assert_eq!(sim2.now() - t0, dev.profile().read_cost(64 << 10));
+            assert_eq!(cache.stats().misses, 1);
+        });
+    }
+
+    #[test]
+    fn sustained_writes_throttle_on_dirty_limit() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            // Tiny cache so the dirty limit bites quickly.
+            let (cache, _dev) = cache_with(&sim2, sata_ssd(), 2 << 20, HostModel::zero());
+            for i in 0..64u64 {
+                cache.write(i * (64 << 10), &[1u8; 64 << 10]).await.unwrap();
+            }
+            let st = cache.stats();
+            assert!(st.throttle_waits > 0, "expected throttling: {st:?}");
+            assert!(cache.dirty_bytes() <= (1 << 20));
+        });
+    }
+
+    #[test]
+    fn capacity_eviction_keeps_cache_bounded() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (cache, dev) = cache_with(&sim2, instant_device(), 1 << 20, HostModel::zero());
+            // Write 4 MiB through a 1 MiB cache.
+            for i in 0..64u64 {
+                cache.write(i * (64 << 10), &[i as u8; 64 << 10]).await.unwrap();
+            }
+            cache.sync().await.unwrap();
+            // Everything must still be readable (from device or cache).
+            for i in 0..64u64 {
+                let got = cache.read(i * (64 << 10), 8).await.unwrap();
+                assert_eq!(got[0], i as u8, "page {i}");
+            }
+            assert!(dev.stats().bytes_written >= 3 << 20);
+        });
+    }
+
+    #[test]
+    fn partial_page_write_preserves_neighbors() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (cache, dev) = cache_with(&sim2, instant_device(), 8 << 20, HostModel::zero());
+            dev.write(0, &[0xAAu8; 64 << 10]).await.unwrap();
+            cache.write(100, &[0xBBu8; 50]).await.unwrap();
+            cache.sync().await.unwrap();
+            let got = dev.peek(0, 200);
+            assert_eq!(got[99], 0xAA);
+            assert_eq!(got[100], 0xBB);
+            assert_eq!(got[149], 0xBB);
+            assert_eq!(got[150], 0xAA);
+        });
+    }
+
+    #[test]
+    fn background_writeback_drains_dirty_over_time() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (cache, _dev) = cache_with(&sim2, sata_ssd(), 4 << 20, HostModel::zero());
+            // Exceed the background threshold (1 MiB) so writeback kicks in.
+            for i in 0..24u64 {
+                cache.write(i * (64 << 10), &[1u8; 64 << 10]).await.unwrap();
+            }
+            let dirty_before = cache.dirty_bytes();
+            sim2.sleep(Duration::from_millis(200)).await;
+            assert!(
+                cache.dirty_bytes() < dirty_before,
+                "writeback made no progress: {} -> {}",
+                dirty_before,
+                cache.dirty_bytes()
+            );
+            assert!(cache.stats().writeback_pages > 0);
+        });
+    }
+}

@@ -1,0 +1,222 @@
+//! Calibrated device and host cost profiles.
+//!
+//! Device numbers approximate the paper's hardware: a 320 GB local SATA
+//! SSD (SDSC Comet, Cluster A) and an Intel P3700 NVMe SSD (OSU NowLab,
+//! Cluster B). As with the fabric profiles, the reproduction depends on
+//! the *ratios* (SATA ≈ 4-5x slower than NVMe; both orders of magnitude
+//! slower than DRAM), not the absolute values.
+
+use std::time::Duration;
+
+/// Service-time model for a block device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Fixed access latency per read command.
+    pub read_base: Duration,
+    /// Fixed access latency per write command.
+    pub write_base: Duration,
+    /// Per-byte read cost (1 / read bandwidth).
+    pub read_ns_per_byte: f64,
+    /// Per-byte write cost (1 / write bandwidth).
+    pub write_ns_per_byte: f64,
+    /// Commands serviced in parallel (NVMe parallelism; 1 for SATA).
+    pub queue_depth: usize,
+    /// Device capacity in bytes.
+    pub capacity: u64,
+    /// Slowdown of *synchronous* (O_DIRECT/O_SYNC, barrier-per-command)
+    /// writes relative to queued asynchronous writes. SATA-era devices
+    /// achieve only a fraction of their spec bandwidth under single-
+    /// threaded sync writes; NVMe handles them far better.
+    pub sync_write_multiplier: f64,
+    /// Flash garbage collection: after every `gc_window_bytes` written the
+    /// device stalls for `gc_stall` (0 disables — the default, since the
+    /// paper's experiments write far less than a drive's over-provisioned
+    /// area; enable for sustained-write sensitivity studies).
+    pub gc_window_bytes: u64,
+    /// Duration of one GC stall.
+    pub gc_stall: Duration,
+}
+
+impl DeviceProfile {
+    /// Service time of one read command of `bytes`.
+    pub fn read_cost(&self, bytes: usize) -> Duration {
+        self.read_base + per_byte(bytes, self.read_ns_per_byte)
+    }
+
+    /// Service time of one (queued, asynchronous) write of `bytes`.
+    pub fn write_cost(&self, bytes: usize) -> Duration {
+        self.write_base + per_byte(bytes, self.write_ns_per_byte)
+    }
+
+    /// Service time of one synchronous (barriered) write of `bytes` — the
+    /// cost the direct-I/O slab flush pays.
+    pub fn sync_write_cost(&self, bytes: usize) -> Duration {
+        self.write_base * 2
+            + per_byte(bytes, self.write_ns_per_byte * self.sync_write_multiplier)
+    }
+
+    /// Uniformly scale all latencies (not capacity/queue depth).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.read_base = scale_dur(self.read_base, factor);
+        self.write_base = scale_dur(self.write_base, factor);
+        self.read_ns_per_byte *= factor;
+        self.write_ns_per_byte *= factor;
+        self.gc_stall = scale_dur(self.gc_stall, factor);
+        self
+    }
+
+    /// Enable flash garbage collection: one `stall` after every
+    /// `window_bytes` written.
+    pub fn with_gc(mut self, window_bytes: u64, stall: Duration) -> Self {
+        self.gc_window_bytes = window_bytes;
+        self.gc_stall = stall;
+        self
+    }
+}
+
+/// Host-side costs for the I/O schemes (page cache, mmap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostModel {
+    /// Streaming DRAM copy cost per byte.
+    pub memcpy_ns_per_byte: f64,
+    /// Fixed cost of one read/write syscall (buffered I/O).
+    pub syscall: Duration,
+    /// Cost of one soft page fault (first touch of an mmap-ed page).
+    pub fault: Duration,
+}
+
+impl HostModel {
+    /// Default host model: ~10 GB/s memcpy, ~3.5 us syscall, ~1.5 us fault.
+    pub fn default_host() -> Self {
+        HostModel {
+            memcpy_ns_per_byte: 0.10,
+            syscall: Duration::from_nanos(3_500),
+            fault: Duration::from_nanos(1_500),
+        }
+    }
+
+    /// Memcpy cost for `bytes`.
+    pub fn memcpy_cost(&self, bytes: usize) -> Duration {
+        per_byte(bytes, self.memcpy_ns_per_byte)
+    }
+
+    /// Uniformly scale all costs.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.memcpy_ns_per_byte *= factor;
+        self.syscall = scale_dur(self.syscall, factor);
+        self.fault = scale_dur(self.fault, factor);
+        self
+    }
+
+    /// A zero-cost host (logic tests).
+    pub fn zero() -> Self {
+        HostModel {
+            memcpy_ns_per_byte: 0.0,
+            syscall: Duration::ZERO,
+            fault: Duration::ZERO,
+        }
+    }
+}
+
+/// Local SATA SSD of the paper's Cluster A (SDSC Comet): ~90/70 us
+/// read/write access, ~500/450 MB/s, no command parallelism modelled.
+pub fn sata_ssd() -> DeviceProfile {
+    DeviceProfile {
+        name: "sata-ssd",
+        read_base: Duration::from_micros(90),
+        write_base: Duration::from_micros(70),
+        read_ns_per_byte: 2.00,
+        write_ns_per_byte: 2.22,
+        queue_depth: 1,
+        capacity: 320 << 30,
+        sync_write_multiplier: 4.0,
+        gc_window_bytes: 0,
+        gc_stall: Duration::ZERO,
+    }
+}
+
+/// Intel P3700 NVMe SSD of the paper's Cluster B: ~20 us access,
+/// ~2.8/1.9 GB/s, 8-way command parallelism.
+pub fn nvme_p3700() -> DeviceProfile {
+    DeviceProfile {
+        name: "nvme-p3700",
+        read_base: Duration::from_micros(20),
+        write_base: Duration::from_micros(20),
+        read_ns_per_byte: 0.357,
+        write_ns_per_byte: 0.526,
+        queue_depth: 8,
+        capacity: 400 << 30,
+        sync_write_multiplier: 1.5,
+        gc_window_bytes: 0,
+        gc_stall: Duration::ZERO,
+    }
+}
+
+/// Free device for logic tests.
+pub fn instant_device() -> DeviceProfile {
+    DeviceProfile {
+        name: "instant",
+        read_base: Duration::ZERO,
+        write_base: Duration::ZERO,
+        read_ns_per_byte: 0.0,
+        write_ns_per_byte: 0.0,
+        queue_depth: 1,
+        capacity: 64 << 30,
+        sync_write_multiplier: 1.0,
+        gc_window_bytes: 0,
+        gc_stall: Duration::ZERO,
+    }
+}
+
+fn per_byte(bytes: usize, ns: f64) -> Duration {
+    Duration::from_nanos((bytes as f64 * ns).round() as u64)
+}
+
+fn scale_dur(d: Duration, f: f64) -> Duration {
+    Duration::from_nanos((d.as_nanos() as f64 * f).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sata_slab_flush_is_milliseconds() {
+        let cost = sata_ssd().write_cost(1 << 20);
+        assert!(cost > Duration::from_millis(2), "1MB SATA write = {cost:?}");
+        assert!(cost < Duration::from_millis(4));
+    }
+
+    #[test]
+    fn nvme_beats_sata() {
+        let s = sata_ssd();
+        let n = nvme_p3700();
+        for len in [4 << 10, 32 << 10, 1 << 20] {
+            assert!(n.read_cost(len) < s.read_cost(len));
+            assert!(n.write_cost(len) < s.write_cost(len));
+        }
+        let ratio = s.read_cost(32 << 10).as_nanos() as f64 / n.read_cost(32 << 10).as_nanos() as f64;
+        assert!(ratio > 3.0, "SATA/NVMe 32KB read ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn host_memcpy_is_orders_faster_than_device() {
+        let host = HostModel::default_host();
+        let dev = sata_ssd();
+        let len = 1 << 20;
+        let ratio =
+            dev.write_cost(len).as_nanos() as f64 / host.memcpy_cost(len).as_nanos() as f64;
+        assert!(ratio > 10.0, "device/memcpy = {ratio:.0}");
+    }
+
+    #[test]
+    fn scaling_to_zero_is_free() {
+        let d = sata_ssd().scaled(0.0);
+        assert_eq!(d.read_cost(1 << 20), Duration::ZERO);
+        let h = HostModel::default_host().scaled(0.0);
+        assert_eq!(h.memcpy_cost(1 << 20), Duration::ZERO);
+        assert_eq!(h.syscall, Duration::ZERO);
+    }
+}

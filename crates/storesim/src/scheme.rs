@@ -1,0 +1,221 @@
+//! Unified slab I/O over the three schemes the paper evaluates.
+//!
+//! The hybrid server's slab manager evicts slabs to (and reads items from)
+//! the SSD through one of three paths — direct I/O, OS-buffered ("cached")
+//! I/O, or mmap — and the adaptive allocator of Figure 5 picks a scheme
+//! per slab class. [`SlabIo`] exposes all three over one device, keyed by
+//! [`IoScheme`], with the invariant that a region written through one
+//! scheme is read back through the same scheme (which is how the slab
+//! manager records item locations).
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nbkv_simrt::Sim;
+
+use crate::device::{DeviceError, SsdDevice};
+use crate::mmapio::{MmapConfig, MmapRegion};
+use crate::pagecache::{PageCache, PageCacheConfig};
+use crate::profile::HostModel;
+
+/// Which I/O path a slab flush / item read uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoScheme {
+    /// Synchronous direct I/O: full device cost inline (H-RDMA-Def).
+    Direct,
+    /// OS-buffered write-back I/O.
+    Cached,
+    /// Memory-mapped I/O.
+    Mmap,
+}
+
+impl IoScheme {
+    /// All schemes, for sweeps.
+    pub const ALL: [IoScheme; 3] = [IoScheme::Direct, IoScheme::Cached, IoScheme::Mmap];
+
+    /// Short label for harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoScheme::Direct => "direct",
+            IoScheme::Cached => "cached",
+            IoScheme::Mmap => "mmap",
+        }
+    }
+}
+
+/// Configuration for [`SlabIo`].
+#[derive(Debug, Clone, Copy)]
+pub struct SlabIoConfig {
+    /// Page-cache size backing the `Cached` scheme.
+    pub cache_bytes: u64,
+    /// Residency limit for the `Mmap` scheme.
+    pub mmap_resident_bytes: u64,
+    /// Host cost model shared by both schemes.
+    pub host: HostModel,
+}
+
+impl SlabIoConfig {
+    /// Defaults: 256 MiB page cache, 256 MiB mmap residency.
+    pub fn default_for_tests(host: HostModel) -> Self {
+        SlabIoConfig {
+            cache_bytes: 256 << 20,
+            mmap_resident_bytes: 256 << 20,
+            host,
+        }
+    }
+}
+
+/// Unified I/O facade over one SSD.
+pub struct SlabIo {
+    dev: Rc<SsdDevice>,
+    cache: Rc<PageCache>,
+    mmap: Rc<MmapRegion>,
+}
+
+impl SlabIo {
+    /// Build the facade; the page cache and mmap flusher tasks are spawned
+    /// on `sim`.
+    pub fn new(sim: &Sim, dev: Rc<SsdDevice>, cfg: SlabIoConfig) -> Rc<Self> {
+        let cache = PageCache::new(
+            sim,
+            Rc::clone(&dev),
+            PageCacheConfig::with_capacity(cfg.cache_bytes, cfg.host),
+        );
+        let capacity = dev.profile().capacity;
+        let mmap = MmapRegion::new(
+            sim,
+            Rc::clone(&dev),
+            0,
+            capacity,
+            MmapConfig::with_resident_limit(cfg.mmap_resident_bytes, cfg.host),
+        );
+        Rc::new(SlabIo { dev, cache, mmap })
+    }
+
+    /// Write `data` at `offset` through `scheme`.
+    pub async fn write(&self, scheme: IoScheme, offset: u64, data: &[u8]) -> Result<(), DeviceError> {
+        match scheme {
+            IoScheme::Direct => self.dev.write_sync(offset, data).await,
+            IoScheme::Cached => self.cache.write(offset, data).await,
+            IoScheme::Mmap => self.mmap.write(offset, data).await,
+        }
+    }
+
+    /// Read `len` bytes at `offset` through `scheme`.
+    pub async fn read(&self, scheme: IoScheme, offset: u64, len: usize) -> Result<Bytes, DeviceError> {
+        match scheme {
+            IoScheme::Direct => self.dev.read(offset, len).await,
+            IoScheme::Cached => self.cache.read(offset, len).await,
+            IoScheme::Mmap => self.mmap.read(offset, len).await,
+        }
+    }
+
+    /// Flush all buffered state to the device.
+    pub async fn sync_all(&self) -> Result<(), DeviceError> {
+        self.cache.sync().await?;
+        self.mmap.msync().await
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Rc<SsdDevice> {
+        &self.dev
+    }
+
+    /// The page cache (for stats).
+    pub fn cache(&self) -> &Rc<PageCache> {
+        &self.cache
+    }
+
+    /// The mmap region (for stats).
+    pub fn mmap(&self) -> &Rc<MmapRegion> {
+        &self.mmap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{instant_device, sata_ssd};
+    use nbkv_simrt::SimTime;
+
+    fn slab_io(sim: &Sim, profile: crate::profile::DeviceProfile, host: HostModel) -> Rc<SlabIo> {
+        let dev = SsdDevice::new(sim, profile);
+        SlabIo::new(sim, dev, SlabIoConfig::default_for_tests(host))
+    }
+
+    #[test]
+    fn all_schemes_round_trip() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let io = slab_io(&sim2, instant_device(), HostModel::zero());
+            for (i, scheme) in IoScheme::ALL.into_iter().enumerate() {
+                let off = (i as u64) * (1 << 20);
+                let data = vec![i as u8 + 1; 100_000];
+                io.write(scheme, off, &data).await.unwrap();
+                let got = io.read(scheme, off, data.len()).await.unwrap();
+                assert_eq!(&got[..], &data[..], "{scheme:?}");
+            }
+        });
+    }
+
+    /// The Figure 4 ordering: direct is worst everywhere; mmap beats cached
+    /// for small evictions; cached beats mmap for large ones.
+    #[test]
+    fn fig4_scheme_ordering() {
+        fn sync_write_cost(scheme: IoScheme, len: usize) -> u64 {
+            let sim = Sim::new();
+            let sim2 = sim.clone();
+            sim.run_until(async move {
+                let io = slab_io(&sim2, sata_ssd(), HostModel::default_host());
+                let t0 = sim2.now();
+                io.write(scheme, 0, &vec![1u8; len]).await.unwrap();
+                (sim2.now() - t0).as_nanos() as u64
+            })
+        }
+        for len in [4 << 10, 64 << 10, 1 << 20] {
+            let direct = sync_write_cost(IoScheme::Direct, len);
+            let cached = sync_write_cost(IoScheme::Cached, len);
+            let mmap = sync_write_cost(IoScheme::Mmap, len);
+            assert!(direct > cached && direct > mmap, "direct worst at {len}");
+        }
+        let small = 4 << 10;
+        assert!(
+            sync_write_cost(IoScheme::Mmap, small) < sync_write_cost(IoScheme::Cached, small),
+            "mmap should win small evictions"
+        );
+        let large = 1 << 20;
+        assert!(
+            sync_write_cost(IoScheme::Cached, large) < sync_write_cost(IoScheme::Mmap, large),
+            "cached should win large evictions"
+        );
+    }
+
+    #[test]
+    fn sync_all_persists_everything() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let io = slab_io(&sim2, instant_device(), HostModel::zero());
+            io.write(IoScheme::Cached, 0, &[1u8; 64]).await.unwrap();
+            io.write(IoScheme::Mmap, 1 << 20, &[2u8; 64]).await.unwrap();
+            io.write(IoScheme::Direct, 2 << 20, &[3u8; 64]).await.unwrap();
+            io.sync_all().await.unwrap();
+            assert_eq!(io.device().peek(0, 1)[0], 1);
+            assert_eq!(io.device().peek(1 << 20, 1)[0], 2);
+            assert_eq!(io.device().peek(2 << 20, 1)[0], 3);
+        });
+    }
+
+    #[test]
+    fn direct_write_is_durable_immediately() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let io = slab_io(&sim2, instant_device(), HostModel::zero());
+            io.write(IoScheme::Direct, 0, b"now").await.unwrap();
+            assert_eq!(&io.device().peek(0, 3)[..], b"now");
+            assert_ne!(sim2.now(), SimTime::from_nanos(u64::MAX)); // silence lint
+        });
+    }
+}

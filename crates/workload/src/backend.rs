@@ -1,0 +1,77 @@
+//! The backend data store behind the cache tier.
+//!
+//! In the paper's web-scale scenario, every miss in the Memcached layer
+//! turns into a query against a database, modelled as a flat penalty of
+//! "less than 2 ms". [`BackendDb`] charges that penalty in virtual time
+//! and synthesizes the value, which the workload runner then re-caches.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use bytes::Bytes;
+use nbkv_simrt::Sim;
+
+use crate::keygen::ValuePool;
+
+/// The simulated backend database.
+pub struct BackendDb {
+    sim: Sim,
+    penalty: Duration,
+    values: ValuePool,
+    fetches: Cell<u64>,
+}
+
+impl BackendDb {
+    /// A backend with the given miss penalty, serving values of
+    /// `value_len` bytes.
+    pub fn new(sim: &Sim, penalty: Duration, value_len: usize) -> Self {
+        BackendDb {
+            sim: sim.clone(),
+            penalty,
+            values: ValuePool::new(value_len, 4),
+            fetches: Cell::new(0),
+        }
+    }
+
+    /// The paper's default penalty (2 ms).
+    pub fn default_penalty() -> Duration {
+        Duration::from_millis(2)
+    }
+
+    /// Fetch the value for a key, charging the miss penalty.
+    pub async fn fetch(&self, key: &Bytes) -> Bytes {
+        self.sim.sleep(self.penalty).await;
+        self.fetches.set(self.fetches.get() + 1);
+        self.values.value(key.len() + key.last().copied().unwrap_or(0) as usize)
+    }
+
+    /// Number of backend queries so far.
+    pub fn fetches(&self) -> u64 {
+        self.fetches.get()
+    }
+
+    /// The configured penalty.
+    pub fn penalty(&self) -> Duration {
+        self.penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_charges_penalty_and_counts() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let db = BackendDb::new(&sim2, Duration::from_millis(2), 128);
+            let v = db.fetch(&Bytes::from_static(b"k1")).await;
+            assert_eq!(v.len(), 128);
+            assert_eq!(sim2.now().since_start(), Duration::from_millis(2));
+            db.fetch(&Bytes::from_static(b"k2")).await;
+            assert_eq!(db.fetches(), 2);
+            assert_eq!(sim2.now().since_start(), Duration::from_millis(4));
+        });
+    }
+}

@@ -1,0 +1,202 @@
+//! The bursty block-I/O pattern of Listing 2.
+//!
+//! Burst-buffer workloads (HDFS/Lustre burst buffers, MapReduce
+//! intermediate data) read and write data in *blocks*, each split into
+//! chunks that scatter across the Memcached servers; completion is
+//! guaranteed block-by-block. With the non-blocking APIs, all chunks of a
+//! block are issued back-to-back and then waited on together; with the
+//! blocking APIs each chunk is a full round trip.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nbkv_core::client::Client;
+use nbkv_core::proto::{ApiFlavor, OpStatus};
+use nbkv_simrt::Sim;
+
+use crate::histogram::LatencyRecorder;
+use crate::keygen::ValuePool;
+
+/// Bursty workload description.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstSpec {
+    /// Bytes per block (the unit of completion).
+    pub block_bytes: usize,
+    /// Bytes per chunk (one key-value pair; the paper uses 256 KiB).
+    pub chunk_bytes: usize,
+    /// Total bytes written then read back.
+    pub total_bytes: u64,
+    /// API family to drive.
+    pub flavor: ApiFlavor,
+}
+
+impl BurstSpec {
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        (self.total_bytes / self.block_bytes as u64) as usize
+    }
+
+    /// Chunks per block.
+    pub fn chunks_per_block(&self) -> usize {
+        self.block_bytes / self.chunk_bytes
+    }
+}
+
+/// Measured block access latencies.
+#[derive(Debug, Clone)]
+pub struct BurstReport {
+    /// Blocks written.
+    pub blocks: usize,
+    /// Mean latency to write one block (ns).
+    pub mean_write_block_ns: u64,
+    /// Mean latency to read one block back (ns).
+    pub mean_read_block_ns: u64,
+    /// Total virtual time of the whole job (ns).
+    pub elapsed_ns: u64,
+}
+
+fn chunk_key(block: usize, chunk: usize) -> Bytes {
+    Bytes::from(format!("blk{block:08}-chk{chunk:04}"))
+}
+
+/// Write `spec.total_bytes` block-by-block, then read everything back,
+/// measuring per-block latency.
+pub async fn run_bursty(sim: &Sim, client: &Rc<Client>, spec: &BurstSpec) -> BurstReport {
+    assert!(spec.block_bytes.is_multiple_of(spec.chunk_bytes));
+    assert!(spec.total_bytes.is_multiple_of(spec.block_bytes as u64));
+    let blocks = spec.blocks();
+    let chunks = spec.chunks_per_block();
+    let pool = ValuePool::new(spec.chunk_bytes, 8);
+    let start = sim.now();
+
+    let mut write_rec = LatencyRecorder::new();
+    for b in 0..blocks {
+        let t0 = sim.now();
+        match spec.flavor {
+            ApiFlavor::Block => {
+                for c in 0..chunks {
+                    let done = client
+                        .set(chunk_key(b, c), pool.value(b * chunks + c), 0, None)
+                        .await
+                        .expect("burst set");
+                    assert_eq!(done.status, OpStatus::Stored);
+                }
+            }
+            flavor => {
+                let mut handles = Vec::with_capacity(chunks);
+                for c in 0..chunks {
+                    let key = chunk_key(b, c);
+                    let value = pool.value(b * chunks + c);
+                    let h = match flavor {
+                        ApiFlavor::NonBlockingI => client.iset(key, value, 0, None).await,
+                        _ => client.bset(key, value, 0, None).await,
+                    }
+                    .expect("burst iset/bset");
+                    handles.push(h);
+                }
+                // Block-level completion guarantee.
+                for done in client.wait_all(&handles).await {
+                    assert_eq!(done.status, OpStatus::Stored);
+                }
+            }
+        }
+        write_rec.record(sim.now().saturating_since(t0).as_nanos() as u64);
+    }
+
+    let mut read_rec = LatencyRecorder::new();
+    for b in 0..blocks {
+        let t0 = sim.now();
+        match spec.flavor {
+            ApiFlavor::Block => {
+                for c in 0..chunks {
+                    let done = client.get(chunk_key(b, c)).await.expect("burst get");
+                    assert_eq!(done.status, OpStatus::Hit, "block {b} chunk {c}");
+                }
+            }
+            flavor => {
+                let mut handles = Vec::with_capacity(chunks);
+                for c in 0..chunks {
+                    let key = chunk_key(b, c);
+                    let h = match flavor {
+                        ApiFlavor::NonBlockingI => client.iget(key).await,
+                        _ => client.bget(key).await,
+                    }
+                    .expect("burst iget/bget");
+                    handles.push(h);
+                }
+                for done in client.wait_all(&handles).await {
+                    assert_eq!(done.status, OpStatus::Hit);
+                    assert_eq!(
+                        done.value.as_ref().map(|v| v.len()),
+                        Some(spec.chunk_bytes)
+                    );
+                }
+            }
+        }
+        read_rec.record(sim.now().saturating_since(t0).as_nanos() as u64);
+    }
+
+    BurstReport {
+        blocks,
+        mean_write_block_ns: write_rec.mean_ns(),
+        mean_read_block_ns: read_rec.mean_ns(),
+        elapsed_ns: sim.now().saturating_since(start).as_nanos() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbkv_core::cluster::{build_cluster, ClusterConfig};
+    use nbkv_core::designs::Design;
+
+    fn run(design: Design, flavor: ApiFlavor) -> BurstReport {
+        let sim = Sim::new();
+        let mut cfg = ClusterConfig::new(design, 8 << 20);
+        cfg.servers = 2;
+        let cluster = build_cluster(&sim, &cfg);
+        let client = Rc::clone(&cluster.clients[0]);
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let spec = BurstSpec {
+                block_bytes: 512 << 10,
+                chunk_bytes: 64 << 10,
+                total_bytes: 4 << 20,
+                flavor,
+            };
+            run_bursty(&sim2, &client, &spec).await
+        })
+    }
+
+    #[test]
+    fn bursty_round_trips_all_blocks() {
+        let r = run(Design::HRdmaOptNonBI, ApiFlavor::NonBlockingI);
+        assert_eq!(r.blocks, 8);
+        assert!(r.mean_write_block_ns > 0);
+        assert!(r.mean_read_block_ns > 0);
+    }
+
+    #[test]
+    fn nonblocking_blocks_complete_faster_than_blocking() {
+        let blocking = run(Design::HRdmaOptBlock, ApiFlavor::Block);
+        let nonblocking = run(Design::HRdmaOptNonBI, ApiFlavor::NonBlockingI);
+        assert!(
+            nonblocking.mean_write_block_ns * 2 < blocking.mean_write_block_ns,
+            "nonblocking {} vs blocking {}",
+            nonblocking.mean_write_block_ns,
+            blocking.mean_write_block_ns
+        );
+    }
+
+    #[test]
+    fn spec_geometry() {
+        let spec = BurstSpec {
+            block_bytes: 2 << 20,
+            chunk_bytes: 256 << 10,
+            total_bytes: 64 << 20,
+            flavor: ApiFlavor::Block,
+        };
+        assert_eq!(spec.blocks(), 32);
+        assert_eq!(spec.chunks_per_block(), 8);
+    }
+}

@@ -1,0 +1,87 @@
+//! Operation mixes (read:write ratios).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which operation a workload step performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A get.
+    Read,
+    /// A set.
+    Write,
+}
+
+/// A read percentage (the paper evaluates read-only 100:0 and
+/// write-heavy 50:50).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percentage of operations that are reads (0-100).
+    pub read_pct: u8,
+}
+
+impl OpMix {
+    /// 100% reads.
+    pub const READ_ONLY: OpMix = OpMix { read_pct: 100 };
+    /// 50:50 reads and writes (the paper's "write-heavy").
+    pub const WRITE_HEAVY: OpMix = OpMix { read_pct: 50 };
+    /// 100% writes (preload-like).
+    pub const WRITE_ONLY: OpMix = OpMix { read_pct: 0 };
+
+    /// Draw the next operation kind.
+    pub fn choose(&self, rng: &mut StdRng) -> OpKind {
+        if rng.gen_range(0..100u8) < self.read_pct {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        }
+    }
+
+    /// Label used in harness output.
+    pub fn label(&self) -> String {
+        match self.read_pct {
+            100 => "read-only".to_string(),
+            50 => "write-heavy(50:50)".to_string(),
+            0 => "write-only".to_string(),
+            p => format!("{p}:{}", 100 - p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn read_only_never_writes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(OpMix::READ_ONLY.choose(&mut rng), OpKind::Read);
+        }
+    }
+
+    #[test]
+    fn write_only_never_reads() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(OpMix::WRITE_ONLY.choose(&mut rng), OpKind::Write);
+        }
+    }
+
+    #[test]
+    fn write_heavy_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let reads = (0..10_000)
+            .filter(|_| OpMix::WRITE_HEAVY.choose(&mut rng) == OpKind::Read)
+            .count();
+        assert!((4_000..=6_000).contains(&reads), "{reads} reads");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(OpMix::READ_ONLY.label(), "read-only");
+        assert_eq!(OpMix::WRITE_HEAVY.label(), "write-heavy(50:50)");
+        assert_eq!(OpMix { read_pct: 90 }.label(), "90:10");
+    }
+}

@@ -1,0 +1,600 @@
+//! The workload runner: drives a client with a configured access pattern
+//! and operation mix, and measures what the paper measures.
+//!
+//! ## Measurement model
+//!
+//! - **Blocking APIs**: each op's end-to-end latency is decomposed into
+//!   the six stages of Section III-A (server stages from the response,
+//!   miss penalty measured at the client, the remainder is client wait).
+//! - **Non-blocking APIs**: the client-visible cost of an op is the time
+//!   spent *inside* issue calls plus the amortized completion wait; the
+//!   server stages still happen but are overlapped. "Overlap%" is the
+//!   fraction of job runtime not spent inside mandatory API calls — the
+//!   time the application could use for computation or communication with
+//!   other servers (Figure 7a).
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use nbkv_core::client::{Client, Completion, ReqHandle};
+use nbkv_core::proto::{ApiFlavor, OpStatus, ServedFrom};
+use nbkv_simrt::Sim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::backend::BackendDb;
+use crate::histogram::{LatencyRecorder, StageAggregator, StageBreakdown};
+use crate::keygen::{AccessPattern, KeyChooser, KeySpace, ValuePool};
+use crate::mix::{OpKind, OpMix};
+use crate::trace::{Trace, TraceOp};
+
+/// One planned operation (the unit both generated and traced workloads
+/// reduce to before execution).
+#[derive(Debug, Clone)]
+pub enum PlannedOp {
+    /// Store a pool value under `key`.
+    Set {
+        /// Key bytes.
+        key: Bytes,
+    },
+    /// Fetch `key`.
+    Get {
+        /// Key bytes.
+        key: Bytes,
+    },
+    /// Remove `key`.
+    Delete {
+        /// Key bytes.
+        key: Bytes,
+    },
+}
+
+/// Parameters for replaying a [`Trace`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayParams {
+    /// Value length for sets (pool-generated contents).
+    pub value_len: usize,
+    /// API family to drive.
+    pub flavor: ApiFlavor,
+    /// Max outstanding requests for non-blocking flavours.
+    pub window: usize,
+    /// Backend penalty charged per miss.
+    pub miss_penalty: Duration,
+    /// Re-cache the backend value after a miss.
+    pub recache_on_miss: bool,
+}
+
+impl ReplayParams {
+    /// Defaults matching [`WorkloadSpec::zipf`].
+    pub fn new(value_len: usize, flavor: ApiFlavor) -> Self {
+        ReplayParams {
+            value_len,
+            flavor,
+            window: 64,
+            miss_penalty: BackendDb::default_penalty(),
+            recache_on_miss: true,
+        }
+    }
+}
+
+/// Full description of one workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of distinct keys.
+    pub keys: usize,
+    /// Value size in bytes.
+    pub value_len: usize,
+    /// Key access pattern.
+    pub pattern: AccessPattern,
+    /// Read:write mix.
+    pub mix: OpMix,
+    /// Operations to issue.
+    pub ops: usize,
+    /// API family to drive.
+    pub flavor: ApiFlavor,
+    /// Max outstanding requests for the non-blocking flavours.
+    pub window: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Backend penalty charged per miss.
+    pub miss_penalty: Duration,
+    /// Re-cache the backend value after a miss (paper's behaviour).
+    pub recache_on_miss: bool,
+}
+
+impl WorkloadSpec {
+    /// A Zipf(0.99) spec in the paper's default shape.
+    pub fn zipf(keys: usize, value_len: usize, ops: usize, flavor: ApiFlavor) -> Self {
+        WorkloadSpec {
+            keys,
+            value_len,
+            pattern: AccessPattern::Zipf(0.99),
+            mix: OpMix::WRITE_HEAVY,
+            ops,
+            flavor,
+            window: 64,
+            seed: 42,
+            miss_penalty: BackendDb::default_penalty(),
+            recache_on_miss: true,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Operations completed.
+    pub ops: usize,
+    /// Virtual time from first issue to last completion.
+    pub elapsed_ns: u64,
+    /// Mean client-visible latency per op (ns).
+    pub mean_latency_ns: u64,
+    /// 99th percentile of per-op visible latency (ns).
+    pub p99_latency_ns: u64,
+    /// Average six-stage breakdown.
+    pub breakdown: StageBreakdown,
+    /// Get hits.
+    pub hits: u64,
+    /// Get misses.
+    pub misses: u64,
+    /// Hits served from RAM.
+    pub ram_hits: u64,
+    /// Hits served from SSD.
+    pub ssd_hits: u64,
+    /// Backend queries (miss penalty paid).
+    pub backend_fetches: u64,
+    /// Virtual ns spent inside mandatory API calls.
+    pub issue_blocked_ns: u64,
+    /// Virtual ns spent waiting for completions (overlappable).
+    pub wait_blocked_ns: u64,
+    /// Percentage of the job runtime available for overlap.
+    pub overlap_pct: f64,
+}
+
+impl RunReport {
+    /// Virtual throughput in operations per second.
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.ops as f64 * 1e9 / self.elapsed_ns as f64
+    }
+
+    /// Merge per-client reports from a concurrent run into an aggregate:
+    /// ops sum, elapsed max (they ran concurrently), latencies weighted.
+    pub fn merge(reports: &[RunReport]) -> RunReport {
+        assert!(!reports.is_empty());
+        let total_ops: usize = reports.iter().map(|r| r.ops).sum();
+        let elapsed = reports.iter().map(|r| r.elapsed_ns).max().unwrap_or(0);
+        let w = |f: fn(&RunReport) -> u64| -> u64 {
+            let s: u128 = reports.iter().map(|r| f(r) as u128 * r.ops as u128).sum();
+            (s / total_ops.max(1) as u128) as u64
+        };
+        let mut breakdown = StageBreakdown::default();
+        for r in reports {
+            let frac = r.ops as f64 / total_ops.max(1) as f64;
+            breakdown.slab_alloc_ns += r.breakdown.slab_alloc_ns * frac;
+            breakdown.check_load_ns += r.breakdown.check_load_ns * frac;
+            breakdown.cache_update_ns += r.breakdown.cache_update_ns * frac;
+            breakdown.response_ns += r.breakdown.response_ns * frac;
+            breakdown.client_wait_ns += r.breakdown.client_wait_ns * frac;
+            breakdown.miss_penalty_ns += r.breakdown.miss_penalty_ns * frac;
+        }
+        RunReport {
+            ops: total_ops,
+            elapsed_ns: elapsed,
+            mean_latency_ns: w(|r| r.mean_latency_ns),
+            p99_latency_ns: reports.iter().map(|r| r.p99_latency_ns).max().unwrap_or(0),
+            breakdown,
+            hits: reports.iter().map(|r| r.hits).sum(),
+            misses: reports.iter().map(|r| r.misses).sum(),
+            ram_hits: reports.iter().map(|r| r.ram_hits).sum(),
+            ssd_hits: reports.iter().map(|r| r.ssd_hits).sum(),
+            backend_fetches: reports.iter().map(|r| r.backend_fetches).sum(),
+            issue_blocked_ns: reports.iter().map(|r| r.issue_blocked_ns).sum(),
+            wait_blocked_ns: reports.iter().map(|r| r.wait_blocked_ns).sum(),
+            overlap_pct: reports.iter().map(|r| r.overlap_pct * r.ops as f64).sum::<f64>()
+                / total_ops.max(1) as f64,
+        }
+    }
+}
+
+/// Preload the store with `keys` keys of `value_len` bytes via blocking
+/// sets (the paper's "server is preloaded with N GB of data").
+pub async fn preload(client: &Rc<Client>, keys: usize, value_len: usize) {
+    let space = KeySpace::new(keys);
+    let pool = ValuePool::new(value_len, 8);
+    for i in 0..keys {
+        client
+            .set(space.key(i), pool.value(i), 0, None)
+            .await
+            .expect("preload set failed");
+    }
+}
+
+fn plan_from_spec(spec: &WorkloadSpec) -> Vec<PlannedOp> {
+    let mut chooser = KeyChooser::new(KeySpace::new(spec.keys), spec.pattern, spec.seed);
+    let mut mix_rng = StdRng::seed_from_u64(spec.seed ^ 0x9E37_79B9);
+    (0..spec.ops)
+        .map(|_| {
+            let key = chooser.next_key();
+            match spec.mix.choose(&mut mix_rng) {
+                OpKind::Read => PlannedOp::Get { key },
+                OpKind::Write => PlannedOp::Set { key },
+            }
+        })
+        .collect()
+}
+
+fn plan_from_trace(trace: &Trace) -> Vec<PlannedOp> {
+    trace
+        .ops
+        .iter()
+        .map(|op| {
+            let key = Bytes::from(op.key().as_bytes().to_vec());
+            match op {
+                TraceOp::Set { .. } => PlannedOp::Set { key },
+                TraceOp::Get { .. } => PlannedOp::Get { key },
+                TraceOp::Delete { .. } => PlannedOp::Delete { key },
+            }
+        })
+        .collect()
+}
+
+/// Run `spec` against `client`, returning the measurements.
+pub async fn run_workload(sim: &Sim, client: &Rc<Client>, spec: &WorkloadSpec) -> RunReport {
+    let plan = plan_from_spec(spec);
+    let pool = ValuePool::new(spec.value_len, 8);
+    match spec.flavor {
+        ApiFlavor::Block => {
+            execute_blocking(sim, client, &plan, &pool, spec.miss_penalty, spec.recache_on_miss)
+                .await
+        }
+        flavor => execute_nonblocking(sim, client, &plan, &pool, flavor, spec.window).await,
+    }
+}
+
+/// Replay a recorded [`Trace`] against `client` — the exact same
+/// operation sequence, whatever the design.
+pub async fn replay_trace(
+    sim: &Sim,
+    client: &Rc<Client>,
+    trace: &Trace,
+    params: &ReplayParams,
+) -> RunReport {
+    let plan = plan_from_trace(trace);
+    let pool = ValuePool::new(params.value_len, 8);
+    match params.flavor {
+        ApiFlavor::Block => {
+            execute_blocking(sim, client, &plan, &pool, params.miss_penalty, params.recache_on_miss)
+                .await
+        }
+        flavor => execute_nonblocking(sim, client, &plan, &pool, flavor, params.window).await,
+    }
+}
+
+async fn execute_blocking(
+    sim: &Sim,
+    client: &Rc<Client>,
+    plan: &[PlannedOp],
+    pool: &ValuePool,
+    miss_penalty: Duration,
+    recache_on_miss: bool,
+) -> RunReport {
+    let backend = BackendDb::new(sim, miss_penalty, pool.value_len());
+    let mut rec = LatencyRecorder::new();
+    let mut agg = StageAggregator::new();
+    let mut counters = Counters::default();
+
+    let start = sim.now();
+    for (op_idx, op) in plan.iter().enumerate() {
+        let t0 = sim.now();
+        match op {
+            PlannedOp::Set { key } => {
+                let c = client
+                    .set(key.clone(), pool.value(op_idx), 0, None)
+                    .await
+                    .expect("set failed");
+                let total = ns(sim, t0);
+                agg.record_blocking(&c.stages, total, 0);
+                rec.record(total);
+            }
+            PlannedOp::Get { key } => {
+                let c = client.get(key.clone()).await.expect("get failed");
+                let mut penalty_ns = 0u64;
+                counters.count_get(&c);
+                if c.status == OpStatus::Miss {
+                    let p0 = sim.now();
+                    let value = backend.fetch(key).await;
+                    penalty_ns = ns_between(p0, sim.now());
+                    if recache_on_miss {
+                        client
+                            .set(key.clone(), value, 0, None)
+                            .await
+                            .expect("re-cache set failed");
+                    }
+                }
+                let total = ns(sim, t0);
+                agg.record_blocking(&c.stages, total, penalty_ns);
+                rec.record(total);
+            }
+            PlannedOp::Delete { key } => {
+                let c = client.delete(key.clone()).await.expect("delete failed");
+                let total = ns(sim, t0);
+                agg.record_blocking(&c.stages, total, 0);
+                rec.record(total);
+            }
+        }
+    }
+    let elapsed = ns_between(start, sim.now());
+    finish_report(plan.len(), elapsed, rec, agg, counters, backend.fetches(), elapsed, 0)
+}
+
+async fn execute_nonblocking(
+    sim: &Sim,
+    client: &Rc<Client>,
+    plan: &[PlannedOp],
+    pool: &ValuePool,
+    flavor: ApiFlavor,
+    window: usize,
+) -> RunReport {
+    let mut counters = Counters::default();
+    let mut inflight: VecDeque<ReqHandle> = VecDeque::new();
+    let mut issue_ns_per_op: Vec<u64> = Vec::with_capacity(plan.len());
+    let mut issue_blocked = 0u64;
+    let mut wait_blocked = 0u64;
+
+    let start = sim.now();
+    for (op_idx, op) in plan.iter().enumerate() {
+        // Respect the application window: reap the oldest when full.
+        if inflight.len() >= window.max(1) {
+            let h = inflight.pop_front().expect("window full implies inflight");
+            let t = sim.now();
+            let c = h.wait().await;
+            wait_blocked += ns(sim, t);
+            counters.count_get(&c);
+        }
+        let t0 = sim.now();
+        let handle = match (op, flavor) {
+            (PlannedOp::Set { key }, ApiFlavor::NonBlockingI) => {
+                client.iset(key.clone(), pool.value(op_idx), 0, None).await
+            }
+            (PlannedOp::Set { key }, _) => {
+                client.bset(key.clone(), pool.value(op_idx), 0, None).await
+            }
+            (PlannedOp::Get { key }, ApiFlavor::NonBlockingI) => client.iget(key.clone()).await,
+            (PlannedOp::Get { key }, _) => client.bget(key.clone()).await,
+            (PlannedOp::Delete { key }, _) => {
+                // Deletes have no non-blocking variant in the paper's API;
+                // issue them blocking.
+                let c = client.delete(key.clone()).await.expect("delete failed");
+                let issue = ns(sim, t0);
+                issue_blocked += issue;
+                issue_ns_per_op.push(issue);
+                let _ = c;
+                continue;
+            }
+        }
+        .expect("issue failed");
+        let issue = ns(sim, t0);
+        issue_blocked += issue;
+        issue_ns_per_op.push(issue);
+        inflight.push_back(handle);
+    }
+    // The end-of-job memcached_wait over everything still outstanding.
+    while let Some(h) = inflight.pop_front() {
+        let t = sim.now();
+        let c = h.wait().await;
+        wait_blocked += ns(sim, t);
+        counters.count_get(&c);
+    }
+    let elapsed = ns_between(start, sim.now());
+
+    // Per-op visible cost = own issue time + amortized completion wait.
+    let amortized_wait = wait_blocked / plan.len().max(1) as u64;
+    let mut rec = LatencyRecorder::new();
+    let mut agg = StageAggregator::new();
+    for issue in issue_ns_per_op {
+        let visible = issue + amortized_wait;
+        rec.record(visible);
+        agg.record_nonblocking(visible);
+    }
+    finish_report(
+        plan.len(),
+        elapsed,
+        rec,
+        agg,
+        counters,
+        0,
+        issue_blocked,
+        wait_blocked,
+    )
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: u64,
+    misses: u64,
+    ram_hits: u64,
+    ssd_hits: u64,
+}
+
+impl Counters {
+    fn count_get(&mut self, c: &Completion) {
+        match c.status {
+            OpStatus::Hit => {
+                self.hits += 1;
+                match c.stages.served_from {
+                    ServedFrom::Ram => self.ram_hits += 1,
+                    ServedFrom::Ssd => self.ssd_hits += 1,
+                    ServedFrom::None => {}
+                }
+            }
+            OpStatus::Miss => self.misses += 1,
+            _ => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_report(
+    ops: usize,
+    elapsed_ns: u64,
+    mut rec: LatencyRecorder,
+    agg: StageAggregator,
+    counters: Counters,
+    backend_fetches: u64,
+    issue_blocked_ns: u64,
+    wait_blocked_ns: u64,
+) -> RunReport {
+    let overlap_pct = if elapsed_ns == 0 {
+        0.0
+    } else {
+        100.0 * (1.0 - issue_blocked_ns as f64 / elapsed_ns as f64).clamp(0.0, 1.0)
+    };
+    RunReport {
+        ops,
+        elapsed_ns,
+        mean_latency_ns: rec.mean_ns(),
+        p99_latency_ns: rec.quantile_ns(0.99),
+        breakdown: agg.average(),
+        hits: counters.hits,
+        misses: counters.misses,
+        ram_hits: counters.ram_hits,
+        ssd_hits: counters.ssd_hits,
+        backend_fetches,
+        issue_blocked_ns,
+        wait_blocked_ns,
+        overlap_pct,
+    }
+}
+
+fn ns(sim: &Sim, since: nbkv_simrt::SimTime) -> u64 {
+    sim.now().saturating_since(since).as_nanos() as u64
+}
+
+fn ns_between(a: nbkv_simrt::SimTime, b: nbkv_simrt::SimTime) -> u64 {
+    b.saturating_since(a).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbkv_core::cluster::{build_cluster, ClusterConfig};
+    use nbkv_core::designs::Design;
+
+    fn small_cluster(design: Design, mem_mb: u64) -> (Sim, Rc<Client>) {
+        let sim = Sim::new();
+        let cluster = build_cluster(&sim, &ClusterConfig::new(design, mem_mb << 20));
+        let client = Rc::clone(&cluster.clients[0]);
+        (sim, client)
+    }
+
+    #[test]
+    fn blocking_run_reports_hits_when_data_fits() {
+        let (sim, client) = small_cluster(Design::RdmaMem, 32);
+        let report = sim.run_until({
+            let client = Rc::clone(&client);
+            async move {
+                preload(&client, 100, 4096).await;
+                let mut spec = WorkloadSpec::zipf(100, 4096, 300, ApiFlavor::Block);
+                spec.mix = OpMix::READ_ONLY;
+                run_workload(&client.sim_handle(), &client, &spec).await
+            }
+        });
+        assert_eq!(report.ops, 300);
+        assert_eq!(report.hits, 300);
+        assert_eq!(report.misses, 0);
+        assert!(report.mean_latency_ns > 0);
+        assert!(report.overlap_pct < 5.0, "blocking has no overlap: {}", report.overlap_pct);
+    }
+
+    #[test]
+    fn nonblocking_run_shows_high_overlap() {
+        // 32 KiB values, the paper's Figure 7(a) shape.
+        let (sim, client) = small_cluster(Design::HRdmaOptNonBI, 32);
+        let report = sim.run_until({
+            let client = Rc::clone(&client);
+            async move {
+                preload(&client, 100, 32 << 10).await;
+                let mut spec = WorkloadSpec::zipf(100, 32 << 10, 500, ApiFlavor::NonBlockingI);
+                spec.mix = OpMix::READ_ONLY;
+                run_workload(&client.sim_handle(), &client, &spec).await
+            }
+        });
+        assert_eq!(report.hits + report.misses, 500);
+        assert!(
+            report.overlap_pct > 60.0,
+            "iget overlap should be high: {}",
+            report.overlap_pct
+        );
+    }
+
+    #[test]
+    fn in_memory_design_misses_when_data_does_not_fit() {
+        // 4 MiB of RAM, 16 MiB of data.
+        let (sim, client) = small_cluster(Design::RdmaMem, 4);
+        let report = sim.run_until({
+            let client = Rc::clone(&client);
+            async move {
+                preload(&client, 512, 32 << 10).await;
+                let mut spec = WorkloadSpec::zipf(512, 32 << 10, 300, ApiFlavor::Block);
+                spec.mix = OpMix::READ_ONLY;
+                run_workload(&client.sim_handle(), &client, &spec).await
+            }
+        });
+        assert!(report.misses > 0, "evictions must cause misses");
+        assert_eq!(report.backend_fetches, report.misses);
+        assert!(report.breakdown.miss_penalty_ns > 0.0);
+    }
+
+    #[test]
+    fn hybrid_design_does_not_miss() {
+        let (sim, client) = small_cluster(Design::HRdmaOptBlock, 4);
+        let report = sim.run_until({
+            let client = Rc::clone(&client);
+            async move {
+                preload(&client, 512, 32 << 10).await;
+                let mut spec = WorkloadSpec::zipf(512, 32 << 10, 300, ApiFlavor::Block);
+                spec.mix = OpMix::READ_ONLY;
+                run_workload(&client.sim_handle(), &client, &spec).await
+            }
+        });
+        assert_eq!(report.misses, 0, "hybrid retains all data");
+        assert!(report.ssd_hits > 0, "some reads come from SSD");
+        assert_eq!(report.backend_fetches, 0);
+    }
+
+    #[test]
+    fn merge_aggregates_concurrent_reports() {
+        let a = RunReport {
+            ops: 100,
+            elapsed_ns: 1_000,
+            mean_latency_ns: 10,
+            p99_latency_ns: 20,
+            breakdown: StageBreakdown::default(),
+            hits: 50,
+            misses: 0,
+            ram_hits: 50,
+            ssd_hits: 0,
+            backend_fetches: 0,
+            issue_blocked_ns: 100,
+            wait_blocked_ns: 0,
+            overlap_pct: 90.0,
+        };
+        let mut b = a.clone();
+        b.ops = 300;
+        b.elapsed_ns = 2_000;
+        b.mean_latency_ns = 30;
+        b.hits = 150;
+        let m = RunReport::merge(&[a, b]);
+        assert_eq!(m.ops, 400);
+        assert_eq!(m.elapsed_ns, 2_000);
+        assert_eq!(m.hits, 200);
+        assert_eq!(m.mean_latency_ns, 25); // weighted by ops
+        assert!((m.throughput_ops_per_sec() - 400.0 * 1e9 / 2000.0).abs() < 1.0);
+    }
+}

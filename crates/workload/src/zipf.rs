@@ -1,0 +1,134 @@
+//! Zipf-distributed rank sampling.
+//!
+//! The paper's microbenchmarks use "a Zipf-like request distribution that
+//! issues repeated requests to a subset of the data" (YCSB-style skew,
+//! theta ~ 0.99). This sampler materializes the exact CDF over `n` ranks
+//! and samples by binary search — O(n) setup and memory, O(log n) per
+//! sample, exact probabilities (no rejection loop), deterministic given
+//! the RNG.
+
+use rand::Rng;
+
+/// Exact table-based Zipf sampler over ranks `0..n`.
+///
+/// Rank `k` (0-based) has probability proportional to `1 / (k+1)^theta`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. `n` must be nonzero; `theta >= 0` (0 = uniform).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point round-off at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample a 0-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Exact probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(100, 0.0);
+        for k in 0..100 {
+            assert!((z.pmf(k) - 0.01).abs() < 1e-12, "rank {k}: {}", z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates_with_skew() {
+        let z = Zipf::new(10_000, 0.99);
+        assert!(z.pmf(0) > 0.09, "p(0) = {}", z.pmf(0));
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(100));
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(50, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 50];
+        let samples = 200_000;
+        for _ in 0..samples {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 5, 20, 49] {
+            let emp = counts[k] as f64 / samples as f64;
+            let exp = z.pmf(k);
+            assert!(
+                (emp - exp).abs() < 0.01 + exp * 0.15,
+                "rank {k}: empirical {emp:.4} vs pmf {exp:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_cover_full_range() {
+        let z = Zipf::new(5, 0.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(1000, 0.99);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 0.99);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: build a one-server cluster, use the blocking and
+//! non-blocking APIs, and inspect the results.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nbkv::core::cluster::{build_cluster, ClusterConfig};
+use nbkv::core::designs::Design;
+use nbkv::core::proto::OpStatus;
+use nbkv::simrt::Sim;
+
+fn main() {
+    // A virtual cluster: one hybrid server (16 MiB of RAM + simulated
+    // SATA SSD) reached over simulated FDR RDMA.
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(Design::HRdmaOptNonBI, 16 << 20));
+    let client = Rc::clone(&cluster.clients[0]);
+    let server = Rc::clone(&cluster.servers[0]);
+
+    let sim2 = sim.clone();
+    sim.run_until(async move {
+        // -- blocking API (memcached_set / memcached_get) ------------------
+        let done = client
+            .set(
+                Bytes::from_static(b"greeting"),
+                Bytes::from_static(b"hello, hybrid world"),
+                0,
+                None,
+            )
+            .await
+            .expect("set");
+        assert_eq!(done.status, OpStatus::Stored);
+        println!("blocking set  : Stored in {:.1}us", done.latency_ns() as f64 / 1e3);
+
+        let got = client.get(Bytes::from_static(b"greeting")).await.expect("get");
+        println!(
+            "blocking get  : {:?} -> {:?} in {:.1}us",
+            got.status,
+            String::from_utf8_lossy(&got.value.clone().unwrap()),
+            got.latency_ns() as f64 / 1e3
+        );
+
+        // -- non-blocking API (memcached_iset / iget / wait / test) --------
+        let mut handles = Vec::new();
+        let t0 = sim2.now();
+        for i in 0..64 {
+            let key = Bytes::from(format!("key-{i:03}"));
+            let value = Bytes::from(vec![i as u8; 8 << 10]);
+            // iset returns as soon as the request is posted.
+            handles.push(client.iset(key, value, 0, None).await.expect("iset"));
+        }
+        let issued_in = sim2.now() - t0;
+
+        // ... the application could compute here while the sets complete ...
+
+        for h in &handles {
+            // memcached_wait: block until this request's completion.
+            let c = h.wait().await;
+            assert_eq!(c.status, OpStatus::Stored);
+        }
+        let total = sim2.now() - t0;
+        println!(
+            "non-blocking  : 64 x 8KiB isets issued in {:.1}us, all complete after {:.1}us",
+            issued_in.as_nanos() as f64 / 1e3,
+            total.as_nanos() as f64 / 1e3
+        );
+
+        // memcached_test: non-blocking completion probe.
+        let h = client
+            .iget(Bytes::from_static(b"key-000"))
+            .await
+            .expect("iget");
+        println!("test() right after issue: {:?}", h.test().map(|c| c.status));
+        let c = h.wait().await;
+        println!("wait()                  : {:?}, {} bytes", c.status, c.value.unwrap().len());
+
+        // Server-side statistics.
+        let stats = server.store().stats();
+        println!(
+            "server stats  : {} sets, {} ram hits, {} ssd hits, {} flushed pages",
+            stats.sets, stats.get_hits_ram, stats.get_hits_ssd, stats.flushed_pages
+        );
+        println!("virtual time  : {}", sim2.now());
+    });
+}

@@ -1,0 +1,75 @@
+//! YCSB-style workload sweep: the standard cloud-serving mixes (A: 50/50
+//! update-heavy, B: 95/5 read-heavy, C: read-only) run against the three
+//! interesting designs, with data larger than memory.
+//!
+//! Run with: `cargo run --release --example ycsb_like`
+
+use std::rc::Rc;
+
+use nbkv::core::cluster::{build_cluster, ClusterConfig};
+use nbkv::core::designs::Design;
+use nbkv::simrt::Sim;
+use nbkv::workload::{preload, run_workload, AccessPattern, OpMix, RunReport, WorkloadSpec};
+
+const MEM: u64 = 16 << 20;
+const DATA: u64 = 24 << 20;
+const VALUE: usize = 8 << 10;
+
+fn run(design: Design, mix: OpMix) -> RunReport {
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(design, MEM));
+    let client = Rc::clone(&cluster.clients[0]);
+    let sim2 = sim.clone();
+    let report = sim.run_until(async move {
+        let keys = (DATA / VALUE as u64) as usize;
+        preload(&client, keys, VALUE).await;
+        let spec = WorkloadSpec {
+            keys,
+            value_len: VALUE,
+            pattern: AccessPattern::Zipf(0.99),
+            mix,
+            ops: 2000,
+            flavor: design.flavor(),
+            window: 64,
+            seed: 2024,
+            miss_penalty: std::time::Duration::from_millis(2),
+            recache_on_miss: true,
+        };
+        run_workload(&sim2, &client, &spec).await
+    });
+    sim.shutdown();
+    report
+}
+
+fn main() {
+    println!("YCSB-style sweep: Zipf(0.99), 8 KiB values, data = 1.5x memory\n");
+    let workloads = [
+        ("YCSB-A (50/50)", OpMix::WRITE_HEAVY),
+        ("YCSB-B (95/5)", OpMix { read_pct: 95 }),
+        ("YCSB-C (read-only)", OpMix::READ_ONLY),
+    ];
+    let designs = [Design::RdmaMem, Design::HRdmaOptBlock, Design::HRdmaOptNonBI];
+
+    println!(
+        "{:<20} {:>20} {:>20} {:>20}",
+        "workload",
+        designs[0].label(),
+        designs[1].label(),
+        designs[2].label()
+    );
+    for (wl_name, mix) in workloads {
+        let cells: Vec<String> = designs
+            .iter()
+            .map(|&d| {
+                let r = run(d, mix);
+                format!(
+                    "{:>9.1}us {:>4.1}%mi",
+                    r.mean_latency_ns as f64 / 1e3,
+                    100.0 * r.misses as f64 / (r.hits + r.misses).max(1) as f64
+                )
+            })
+            .collect();
+        println!("{:<20} {:>20} {:>20} {:>20}", wl_name, cells[0], cells[1], cells[2]);
+    }
+    println!("\n(mi = cache miss rate; hybrid designs retain all data so they never miss)");
+}

@@ -1,0 +1,24 @@
+//! # nbkv — non-blocking hybrid RDMA key-value store (umbrella crate)
+//!
+//! A Rust reproduction of *"High-Performance Hybrid Key-Value Store on
+//! Modern Clusters with RDMA Interconnects and SSDs: Non-blocking
+//! Extensions, Designs, and Benefits"* (IPDPS 2016), built on a
+//! deterministic discrete-event simulation of the paper's hardware.
+//!
+//! This crate re-exports the workspace members under one roof and hosts
+//! the runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). See the individual crates for the full API documentation:
+//!
+//! - [`simrt`] — the virtual-time async runtime.
+//! - [`fabric`] — simulated RDMA / IPoIB interconnect.
+//! - [`storesim`] — simulated SSDs, page cache, and mmap I/O.
+//! - [`core`] — the key-value store: hybrid server + non-blocking client.
+//! - [`workload`] — workload generation and measurement.
+
+#![warn(missing_docs)]
+
+pub use nbkv_core as core;
+pub use nbkv_fabric as fabric;
+pub use nbkv_simrt as simrt;
+pub use nbkv_storesim as storesim;
+pub use nbkv_workload as workload;

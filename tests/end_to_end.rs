@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: full clusters driven through the public
+//! API, checking data integrity and the paper's qualitative behaviours.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nbkv::core::cluster::{build_cluster, ClusterConfig};
+use nbkv::core::designs::Design;
+use nbkv::core::proto::OpStatus;
+use nbkv::simrt::Sim;
+
+fn key(i: usize) -> Bytes {
+    Bytes::from(format!("it-key-{i:06}"))
+}
+
+/// Deterministic value derived from the key index, so any misdirected
+/// read is caught.
+fn value(i: usize, len: usize) -> Bytes {
+    let mut v = vec![0u8; len];
+    let seed = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for (j, b) in v.iter_mut().enumerate() {
+        *b = (seed >> (8 * (j % 8))) as u8 ^ (j as u8);
+    }
+    Bytes::from(v)
+}
+
+#[test]
+fn every_design_round_trips_data() {
+    for design in Design::ALL {
+        let sim = Sim::new();
+        let cluster = build_cluster(&sim, &ClusterConfig::new(design, 16 << 20));
+        let client = Rc::clone(&cluster.clients[0]);
+        sim.run_until(async move {
+            for i in 0..50 {
+                let c = client.set(key(i), value(i, 4096), i as u32, None).await.unwrap();
+                assert_eq!(c.status, OpStatus::Stored, "{design:?}");
+            }
+            for i in 0..50 {
+                let g = client.get(key(i)).await.unwrap();
+                assert_eq!(g.status, OpStatus::Hit, "{design:?} key {i}");
+                assert_eq!(g.value.unwrap(), value(i, 4096), "{design:?} key {i}");
+                assert_eq!(g.flags, i as u32);
+            }
+        });
+        sim.shutdown();
+    }
+}
+
+#[test]
+fn hybrid_design_survives_memory_pressure_with_full_integrity() {
+    // 8 MiB of RAM, 24 MiB of data: two thirds must live on SSD.
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(Design::HRdmaOptNonBI, 8 << 20));
+    let client = Rc::clone(&cluster.clients[0]);
+    let server = Rc::clone(&cluster.servers[0]);
+    sim.run_until(async move {
+        let n = 24 * 16; // 24 MiB / 64 KiB
+        let mut handles = Vec::new();
+        for i in 0..n {
+            handles.push(client.iset(key(i), value(i, 64 << 10), 0, None).await.unwrap());
+        }
+        for (i, c) in client.wait_all(&handles).await.into_iter().enumerate() {
+            assert_eq!(c.status, OpStatus::Stored, "set {i}");
+        }
+        assert!(server.store().stats().flushed_pages > 0, "must have spilled");
+        // Read every key back and verify content byte-for-byte.
+        for i in 0..n {
+            let g = client.get(key(i)).await.unwrap();
+            assert_eq!(g.status, OpStatus::Hit, "key {i}");
+            assert_eq!(g.value.unwrap(), value(i, 64 << 10), "key {i}");
+        }
+        let st = server.store().stats();
+        assert!(st.get_hits_ssd > 0, "some reads must come from SSD: {st:?}");
+        assert_eq!(st.get_misses, 0, "hybrid never loses data: {st:?}");
+    });
+}
+
+#[test]
+fn memory_only_design_loses_data_under_pressure() {
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(Design::RdmaMem, 8 << 20));
+    let client = Rc::clone(&cluster.clients[0]);
+    sim.run_until(async move {
+        let n = 24 * 16;
+        for i in 0..n {
+            client.set(key(i), value(i, 64 << 10), 0, None).await.unwrap();
+        }
+        let mut misses = 0;
+        for i in 0..n {
+            if client.get(key(i)).await.unwrap().status == OpStatus::Miss {
+                misses += 1;
+            }
+        }
+        assert!(misses > n / 3, "most of the overflow must be gone: {misses}/{n}");
+    });
+}
+
+#[test]
+fn deterministic_virtual_timelines_across_runs() {
+    fn run_once() -> (u64, u64) {
+        let sim = Sim::new();
+        let cluster = build_cluster(&sim, &ClusterConfig::new(Design::HRdmaOptNonBB, 8 << 20));
+        let client = Rc::clone(&cluster.clients[0]);
+        let sim2 = sim.clone();
+        let end = sim.run_until(async move {
+            let mut handles = Vec::new();
+            for i in 0..100 {
+                handles.push(client.bset(key(i), value(i, 16 << 10), 0, None).await.unwrap());
+            }
+            client.wait_all(&handles).await;
+            sim2.now().as_nanos()
+        });
+        (end, sim.stats().timer_events)
+    }
+    assert_eq!(run_once(), run_once(), "DES must be bit-reproducible");
+}
+
+#[test]
+fn multi_server_multi_client_consistency() {
+    let sim = Sim::new();
+    let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, 8 << 20);
+    cfg.servers = 3;
+    cfg.clients = 4;
+    let cluster = build_cluster(&sim, &cfg);
+    let clients: Vec<_> = cluster.clients.iter().map(Rc::clone).collect();
+    let sim2 = sim.clone();
+    sim.run_until(async move {
+        // Each client writes a disjoint key range...
+        let writers: Vec<_> = clients
+            .iter()
+            .enumerate()
+            .map(|(c, client)| {
+                let client = Rc::clone(client);
+                sim2.spawn(async move {
+                    for i in 0..60 {
+                        let idx = c * 1000 + i;
+                        client
+                            .set(key(idx), value(idx, 8 << 10), 0, None)
+                            .await
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.await;
+        }
+        // ... and every client can read every other client's keys.
+        for reader in &clients {
+            for c in 0..4 {
+                for i in (0..60).step_by(7) {
+                    let idx = c * 1000 + i;
+                    let g = reader.get(key(idx)).await.unwrap();
+                    assert_eq!(g.status, OpStatus::Hit, "key {idx}");
+                    assert_eq!(g.value.unwrap(), value(idx, 8 << 10));
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn delete_and_expiry_behave_across_the_wire() {
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(Design::HRdmaOptBlock, 16 << 20));
+    let client = Rc::clone(&cluster.clients[0]);
+    let sim2 = sim.clone();
+    sim.run_until(async move {
+        // Delete.
+        client.set(key(1), value(1, 128), 0, None).await.unwrap();
+        assert_eq!(client.delete(key(1)).await.unwrap().status, OpStatus::Deleted);
+        assert_eq!(client.get(key(1)).await.unwrap().status, OpStatus::Miss);
+        assert_eq!(client.delete(key(1)).await.unwrap().status, OpStatus::NotFound);
+
+        // Expiry.
+        client
+            .set(key(2), value(2, 128), 0, Some(std::time::Duration::from_millis(3)))
+            .await
+            .unwrap();
+        assert_eq!(client.get(key(2)).await.unwrap().status, OpStatus::Hit);
+        sim2.sleep(std::time::Duration::from_millis(5)).await;
+        assert_eq!(client.get(key(2)).await.unwrap().status, OpStatus::Miss);
+    });
+}

@@ -1,0 +1,226 @@
+//! Integration tests for the extended memcached operation family:
+//! add / replace / cas / append / prepend / incr / decr / touch /
+//! get_multi, exercised over the full client-server wire path.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use nbkv::core::cluster::{build_cluster, ClusterConfig};
+use nbkv::core::designs::Design;
+use nbkv::core::proto::OpStatus;
+use nbkv::core::Client;
+use nbkv::simrt::Sim;
+
+fn rig() -> (Sim, Rc<Client>) {
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(Design::HRdmaOptNonBI, 16 << 20));
+    let client = Rc::clone(&cluster.clients[0]);
+    (sim, client)
+}
+
+fn b(s: &str) -> Bytes {
+    Bytes::from(s.to_string())
+}
+
+#[test]
+fn add_stores_once_then_exists() {
+    let (sim, client) = rig();
+    sim.run_until(async move {
+        let first = client.add(b("k"), b("v1"), 0, None).await.unwrap();
+        assert_eq!(first.status, OpStatus::Stored);
+        let second = client.add(b("k"), b("v2"), 0, None).await.unwrap();
+        assert_eq!(second.status, OpStatus::Exists);
+        let got = client.get(b("k")).await.unwrap();
+        assert_eq!(&got.value.unwrap()[..], b"v1", "add must not overwrite");
+    });
+}
+
+#[test]
+fn add_succeeds_after_expiry() {
+    let (sim, client) = rig();
+    let sim2 = sim.clone();
+    sim.run_until(async move {
+        client
+            .add(b("k"), b("v1"), 0, Some(Duration::from_millis(1)))
+            .await
+            .unwrap();
+        sim2.sleep(Duration::from_millis(2)).await;
+        let again = client.add(b("k"), b("v2"), 0, None).await.unwrap();
+        assert_eq!(again.status, OpStatus::Stored, "expired entry is absent");
+    });
+}
+
+#[test]
+fn replace_requires_existing_key() {
+    let (sim, client) = rig();
+    sim.run_until(async move {
+        let miss = client.replace(b("k"), b("v"), 0, None).await.unwrap();
+        assert_eq!(miss.status, OpStatus::NotStored);
+        client.set(b("k"), b("old"), 0, None).await.unwrap();
+        let hit = client.replace(b("k"), b("new"), 0, None).await.unwrap();
+        assert_eq!(hit.status, OpStatus::Stored);
+        assert_eq!(&client.get(b("k")).await.unwrap().value.unwrap()[..], b"new");
+    });
+}
+
+#[test]
+fn cas_succeeds_only_with_fresh_token() {
+    let (sim, client) = rig();
+    sim.run_until(async move {
+        client.set(b("k"), b("v0"), 0, None).await.unwrap();
+        let g = client.get(b("k")).await.unwrap();
+        assert!(g.cas > 0, "gets return a CAS token");
+
+        // A racing writer invalidates the token.
+        client.set(b("k"), b("v1"), 0, None).await.unwrap();
+        let stale = client.cas(b("k"), b("mine"), 0, None, g.cas).await.unwrap();
+        assert_eq!(stale.status, OpStatus::Exists, "stale token must fail");
+
+        // Retry with the fresh token.
+        let g2 = client.get(b("k")).await.unwrap();
+        let fresh = client.cas(b("k"), b("mine"), 0, None, g2.cas).await.unwrap();
+        assert_eq!(fresh.status, OpStatus::Stored);
+        assert_eq!(&client.get(b("k")).await.unwrap().value.unwrap()[..], b"mine");
+
+        // CAS on a missing key.
+        let missing = client.cas(b("nope"), b("x"), 0, None, 1).await.unwrap();
+        assert_eq!(missing.status, OpStatus::NotFound);
+    });
+}
+
+#[test]
+fn append_and_prepend_splice_values() {
+    let (sim, client) = rig();
+    sim.run_until(async move {
+        assert_eq!(
+            client.append(b("k"), b("tail")).await.unwrap().status,
+            OpStatus::NotStored,
+            "append needs an existing value"
+        );
+        client.set(b("k"), b("mid"), 42, None).await.unwrap();
+        assert_eq!(client.append(b("k"), b("-tail")).await.unwrap().status, OpStatus::Stored);
+        assert_eq!(client.prepend(b("k"), b("head-")).await.unwrap().status, OpStatus::Stored);
+        let got = client.get(b("k")).await.unwrap();
+        assert_eq!(&got.value.unwrap()[..], b"head-mid-tail");
+        assert_eq!(got.flags, 42, "append/prepend keep original flags");
+    });
+}
+
+#[test]
+fn incr_decr_follow_memcached_semantics() {
+    let (sim, client) = rig();
+    sim.run_until(async move {
+        // incr on missing -> NotFound.
+        assert_eq!(client.incr(b("n"), 5).await.unwrap().status, OpStatus::NotFound);
+
+        client.set(b("n"), b("10"), 0, None).await.unwrap();
+        let up = client.incr(b("n"), 5).await.unwrap();
+        assert_eq!(up.status, OpStatus::Stored);
+        assert_eq!(up.counter, 15);
+
+        let down = client.decr(b("n"), 20).await.unwrap();
+        assert_eq!(down.counter, 0, "decr clamps at zero");
+
+        // The stored representation is decimal ASCII, like memcached.
+        assert_eq!(&client.get(b("n")).await.unwrap().value.unwrap()[..], b"0");
+
+        // Non-numeric values error.
+        client.set(b("s"), b("abc"), 0, None).await.unwrap();
+        assert_eq!(client.incr(b("s"), 1).await.unwrap().status, OpStatus::Error);
+    });
+}
+
+#[test]
+fn touch_extends_and_removes_expiry() {
+    let (sim, client) = rig();
+    let sim2 = sim.clone();
+    sim.run_until(async move {
+        client
+            .set(b("k"), b("v"), 0, Some(Duration::from_millis(2)))
+            .await
+            .unwrap();
+        // Extend before it lapses.
+        let t = client.touch(b("k"), Some(Duration::from_millis(50))).await.unwrap();
+        assert_eq!(t.status, OpStatus::Stored);
+        sim2.sleep(Duration::from_millis(10)).await;
+        assert_eq!(client.get(b("k")).await.unwrap().status, OpStatus::Hit);
+        // Remove the expiry entirely.
+        client.touch(b("k"), None).await.unwrap();
+        sim2.sleep(Duration::from_secs(10)).await;
+        assert_eq!(client.get(b("k")).await.unwrap().status, OpStatus::Hit);
+        // Touch on missing key.
+        assert_eq!(
+            client.touch(b("gone"), None).await.unwrap().status,
+            OpStatus::NotFound
+        );
+    });
+}
+
+#[test]
+fn get_multi_returns_in_key_order() {
+    let (sim, client) = rig();
+    sim.run_until(async move {
+        for i in 0..20 {
+            client
+                .set(b(&format!("m{i:02}")), Bytes::from(vec![i as u8; 64]), 0, None)
+                .await
+                .unwrap();
+        }
+        let keys: Vec<Bytes> = (0..25).map(|i| b(&format!("m{i:02}"))).collect();
+        let got = client.get_multi(keys).await.unwrap();
+        assert_eq!(got.len(), 25);
+        for (i, c) in got.iter().enumerate() {
+            if i < 20 {
+                assert_eq!(c.status, OpStatus::Hit, "key {i}");
+                assert_eq!(c.value.as_ref().unwrap()[0], i as u8);
+            } else {
+                assert_eq!(c.status, OpStatus::Miss, "key {i}");
+            }
+        }
+    });
+}
+
+#[test]
+fn conditional_ops_work_on_ssd_resident_items() {
+    // Force spill, then run append/incr against SSD-resident entries.
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(Design::HRdmaOptBlock, 4 << 20));
+    let client = Rc::clone(&cluster.clients[0]);
+    let server = Rc::clone(&cluster.servers[0]);
+    sim.run_until(async move {
+        client.set(b("ctr"), b("7"), 0, None).await.unwrap();
+        // Push 8 MiB through a 4 MiB store to spill the counter to SSD.
+        for i in 0..128 {
+            client
+                .set(b(&format!("fill{i:04}")), Bytes::from(vec![1u8; 64 << 10]), 0, None)
+                .await
+                .unwrap();
+        }
+        assert!(server.store().stats().flushed_pages > 0);
+        let up = client.incr(b("ctr"), 3).await.unwrap();
+        assert_eq!(up.status, OpStatus::Stored);
+        assert_eq!(up.counter, 10);
+        let app = client.append(b("ctr"), b("!")).await.unwrap();
+        assert_eq!(app.status, OpStatus::Stored);
+        assert_eq!(&client.get(b("ctr")).await.unwrap().value.unwrap()[..], b"10!");
+    });
+}
+
+#[test]
+fn stats_op_reports_server_state_over_the_wire() {
+    let (sim, client) = rig();
+    sim.run_until(async move {
+        for i in 0..30 {
+            client.set(b(&format!("s{i}")), Bytes::from(vec![1u8; 4096]), 0, None).await.unwrap();
+        }
+        client.get(b("s0")).await.unwrap();
+        client.get(b("missing")).await.unwrap();
+        let snap = client.server_stats(0).await.unwrap();
+        assert_eq!(snap.store.sets, 30);
+        assert_eq!(snap.store.get_hits_ram, 1);
+        assert_eq!(snap.store.get_misses, 1);
+        assert!(snap.slab.live_items >= 30);
+        assert!(snap.server.requests >= 33);
+    });
+}

@@ -1,0 +1,138 @@
+//! Failure-injection integration tests: crashed servers, operation
+//! timeouts, client disconnects.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use nbkv::core::cluster::{build_cluster, ClusterConfig};
+use nbkv::core::designs::Design;
+use nbkv::core::proto::OpStatus;
+use nbkv::simrt::Sim;
+
+fn b(s: &str) -> Bytes {
+    Bytes::from(s.to_string())
+}
+
+#[test]
+fn requests_to_a_crashed_server_time_out() {
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(Design::HRdmaOptNonBI, 8 << 20));
+    let client = Rc::clone(&cluster.clients[0]);
+    let server = Rc::clone(&cluster.servers[0]);
+    sim.run_until(async move {
+        // Healthy first.
+        let ok = client.set(b("k"), b("v"), 0, None).await.unwrap();
+        assert_eq!(ok.status, OpStatus::Stored);
+
+        server.close();
+        assert!(server.is_closed());
+
+        // The request vanishes into the dead node; the timeout saves us.
+        let h = client.iget(b("k")).await.unwrap();
+        let out = h.wait_timeout(Duration::from_millis(50)).await;
+        assert!(out.is_err(), "must time out against a crashed server");
+        assert!(!h.is_done());
+    });
+}
+
+#[test]
+fn surviving_servers_keep_serving_when_one_crashes() {
+    let sim = Sim::new();
+    let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, 8 << 20);
+    cfg.servers = 3;
+    let cluster = build_cluster(&sim, &cfg);
+    let client = Rc::clone(&cluster.clients[0]);
+    let servers: Vec<_> = cluster.servers.iter().map(Rc::clone).collect();
+    sim.run_until(async move {
+        // Spread keys, remember who owns what.
+        let mut stored = Vec::new();
+        for i in 0..120 {
+            let key = b(&format!("fk{i:03}"));
+            client.set(key.clone(), b("v"), 0, None).await.unwrap();
+            stored.push(key);
+        }
+        servers[1].close();
+
+        let mut ok = 0;
+        let mut timed_out = 0;
+        for key in stored {
+            let h = client.iget(key).await.unwrap();
+            match h.wait_timeout(Duration::from_millis(5)).await {
+                Ok(c) if c.status == OpStatus::Hit => ok += 1,
+                Ok(_) => {}
+                Err(_) => timed_out += 1,
+            }
+        }
+        // Roughly a third of the ring is dead, the rest still serves.
+        assert!(ok > 40, "{ok} ok / {timed_out} timed out");
+        assert!(timed_out > 10, "{ok} ok / {timed_out} timed out");
+        assert_eq!(ok + timed_out, 120, "every op either served or timed out");
+    });
+}
+
+#[test]
+fn client_disconnect_quiesces_server_tasks() {
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(Design::RdmaMem, 8 << 20));
+    let client = Rc::clone(&cluster.clients[0]);
+    let sim2 = sim.clone();
+    sim.run_until(async move {
+        client.set(b("k"), b("v"), 0, None).await.unwrap();
+        sim2.sleep(Duration::from_micros(10)).await;
+    });
+    // Drop every client handle: the servers' per-connection tasks must
+    // observe the close and exit, leaving the simulation quiescent.
+    drop(cluster.clients);
+    let before = sim.stats().tasks_alive;
+    sim.run();
+    let after = sim.stats().tasks_alive;
+    assert!(
+        after < before,
+        "conn tasks should exit after disconnect: {before} -> {after}"
+    );
+    sim.shutdown();
+}
+
+#[test]
+fn client_keeps_working_while_dead_requests_hold_window_slots() {
+    // Requests to a crashed server never complete, so their send-window
+    // slots stay occupied (like a real client before its connection
+    // teardown logic kicks in). Within the remaining capacity the client
+    // must keep serving the live servers.
+    let sim = Sim::new();
+    let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, 8 << 20);
+    cfg.servers = 2;
+    cfg.client.max_outstanding = 8;
+    let cluster = build_cluster(&sim, &cfg);
+    let client = Rc::clone(&cluster.clients[0]);
+    let servers: Vec<_> = cluster.servers.iter().map(Rc::clone).collect();
+    sim.run_until(async move {
+        servers[0].close();
+        // Find keys on the live server by probing.
+        let mut live_key = None;
+        let mut dead_hits = 0;
+        for i in 0..64 {
+            let key = b(&format!("probe{i}"));
+            let h = client.iset(key.clone(), b("v"), 0, None).await.unwrap();
+            match h.wait_timeout(Duration::from_millis(2)).await {
+                Ok(_) => {
+                    live_key = Some(key);
+                    break;
+                }
+                Err(_) => {
+                    dead_hits += 1;
+                    if dead_hits >= 7 {
+                        break; // window nearly full of dead requests
+                    }
+                }
+            }
+        }
+        // The client can still talk to the live server if capacity remains.
+        if let Some(key) = live_key {
+            let done = client.get(key).await.unwrap();
+            assert_eq!(done.status, OpStatus::Hit);
+        }
+        assert!(client.outstanding() <= 8);
+    });
+}
