@@ -137,9 +137,19 @@ fn ablate_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_server_pipeline");
     g.sample_size(10);
     for (label, pipeline) in [("pipelined", true), ("inline", false)] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &pipeline, |b, &pipeline| {
-            b.iter(|| run_store_ablation(IoPolicy::adaptive_default(), PromotePolicy::IfFree, pipeline))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &pipeline,
+            |b, &pipeline| {
+                b.iter(|| {
+                    run_store_ablation(
+                        IoPolicy::adaptive_default(),
+                        PromotePolicy::IfFree,
+                        pipeline,
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -147,10 +157,17 @@ fn ablate_pipeline(c: &mut Criterion) {
 fn ablate_promotion(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_promotion");
     g.sample_size(10);
-    for (label, promote) in [("never", PromotePolicy::Never), ("if-free", PromotePolicy::IfFree)] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &promote, |b, &promote| {
-            b.iter(|| run_store_ablation(IoPolicy::adaptive_default(), promote, true))
-        });
+    for (label, promote) in [
+        ("never", PromotePolicy::Never),
+        ("if-free", PromotePolicy::IfFree),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &promote,
+            |b, &promote| {
+                b.iter(|| run_store_ablation(IoPolicy::adaptive_default(), promote, true))
+            },
+        );
     }
     g.finish();
 }
@@ -175,11 +192,17 @@ fn ablate_async_flush(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_async_flush");
     g.sample_size(10);
     for (label, async_flush) in [("sync", false), ("async", true)] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &async_flush, |b, &af| {
-            // Direct I/O is where the synchronous flush hurts the most —
-            // the paper's future-work extension hides it.
-            b.iter(|| run_store_ablation_full(IoPolicy::Direct, PromotePolicy::IfFree, true, af))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &async_flush,
+            |b, &af| {
+                // Direct I/O is where the synchronous flush hurts the most —
+                // the paper's future-work extension hides it.
+                b.iter(|| {
+                    run_store_ablation_full(IoPolicy::Direct, PromotePolicy::IfFree, true, af)
+                })
+            },
+        );
     }
     g.finish();
 }

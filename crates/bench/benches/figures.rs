@@ -79,13 +79,15 @@ fn bench_io_schemes(c: &mut Criterion) {
 fn bench_overlap(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7a_overlap");
     g.sample_size(10);
-    for design in [Design::HRdmaOptBlock, Design::HRdmaOptNonBB, Design::HRdmaOptNonBI] {
+    for design in [
+        Design::HRdmaOptBlock,
+        Design::HRdmaOptNonBB,
+        Design::HRdmaOptNonBI,
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(design.label()),
             &design,
-            |b, &design| {
-                b.iter(|| mini_latency_run(design, MEM + MEM / 2, OpMix::READ_ONLY, 200))
-            },
+            |b, &design| b.iter(|| mini_latency_run(design, MEM + MEM / 2, OpMix::READ_ONLY, 200)),
         );
     }
     g.finish();
@@ -152,57 +154,65 @@ fn bench_devices_and_bursty(c: &mut Criterion) {
         ("sata", nbkv_storesim::sata_ssd()),
         ("nvme", nbkv_storesim::nvme_p3700()),
     ] {
-        g.bench_with_input(BenchmarkId::new("fig8a_nonb", label), &device, |b, &device| {
-            b.iter(|| {
-                let sim = Sim::new();
-                let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, MEM);
-                cfg.device = device;
-                let cluster = build_cluster(&sim, &cfg);
-                let client = Rc::clone(&cluster.clients[0]);
-                let sim2 = sim.clone();
-                let out = sim.run_until(async move {
-                    let keys = ((MEM + MEM / 2) / VALUE as u64) as usize;
-                    preload(&client, keys, VALUE).await;
-                    let spec = WorkloadSpec {
-                        keys,
-                        value_len: VALUE,
-                        pattern: AccessPattern::Zipf(0.99),
-                        mix: OpMix::WRITE_HEAVY,
-                        ops: 200,
-                        flavor: nbkv_core::proto::ApiFlavor::NonBlockingI,
-                        window: 32,
-                        seed: 5,
-                        miss_penalty: std::time::Duration::from_millis(2),
-                        recache_on_miss: false,
-                    };
-                    run_workload(&sim2, &client, &spec).await.mean_latency_ns
-                });
-                sim.shutdown();
-                out
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("fig8b_bursty", label), &device, |b, &device| {
-            b.iter(|| {
-                let sim = Sim::new();
-                let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, MEM / 2);
-                cfg.servers = 2;
-                cfg.device = device;
-                let cluster = build_cluster(&sim, &cfg);
-                let client = Rc::clone(&cluster.clients[0]);
-                let sim2 = sim.clone();
-                let out = sim.run_until(async move {
-                    let spec = BurstSpec {
-                        block_bytes: 1 << 20,
-                        chunk_bytes: 128 << 10,
-                        total_bytes: 16 << 20,
-                        flavor: nbkv_core::proto::ApiFlavor::NonBlockingI,
-                    };
-                    run_bursty(&sim2, &client, &spec).await.mean_write_block_ns
-                });
-                sim.shutdown();
-                out
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("fig8a_nonb", label),
+            &device,
+            |b, &device| {
+                b.iter(|| {
+                    let sim = Sim::new();
+                    let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, MEM);
+                    cfg.device = device;
+                    let cluster = build_cluster(&sim, &cfg);
+                    let client = Rc::clone(&cluster.clients[0]);
+                    let sim2 = sim.clone();
+                    let out = sim.run_until(async move {
+                        let keys = ((MEM + MEM / 2) / VALUE as u64) as usize;
+                        preload(&client, keys, VALUE).await;
+                        let spec = WorkloadSpec {
+                            keys,
+                            value_len: VALUE,
+                            pattern: AccessPattern::Zipf(0.99),
+                            mix: OpMix::WRITE_HEAVY,
+                            ops: 200,
+                            flavor: nbkv_core::proto::ApiFlavor::NonBlockingI,
+                            window: 32,
+                            seed: 5,
+                            miss_penalty: std::time::Duration::from_millis(2),
+                            recache_on_miss: false,
+                        };
+                        run_workload(&sim2, &client, &spec).await.mean_latency_ns
+                    });
+                    sim.shutdown();
+                    out
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("fig8b_bursty", label),
+            &device,
+            |b, &device| {
+                b.iter(|| {
+                    let sim = Sim::new();
+                    let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, MEM / 2);
+                    cfg.servers = 2;
+                    cfg.device = device;
+                    let cluster = build_cluster(&sim, &cfg);
+                    let client = Rc::clone(&cluster.clients[0]);
+                    let sim2 = sim.clone();
+                    let out = sim.run_until(async move {
+                        let spec = BurstSpec {
+                            block_bytes: 1 << 20,
+                            chunk_bytes: 128 << 10,
+                            total_bytes: 16 << 20,
+                            flavor: nbkv_core::proto::ApiFlavor::NonBlockingI,
+                        };
+                        run_bursty(&sim2, &client, &spec).await.mean_write_block_ns
+                    });
+                    sim.shutdown();
+                    out
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -103,12 +103,16 @@ fn bench_proto(c: &mut Criterion) {
             cas: 1,
             value: Some(Bytes::from(vec![9u8; size])),
         };
-        g.bench_with_input(BenchmarkId::new("get_resp_roundtrip", size), &resp, |b, resp| {
-            b.iter(|| {
-                let wire = resp.encode();
-                black_box(Response::decode(&wire).expect("decode"))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("get_resp_roundtrip", size),
+            &resp,
+            |b, resp| {
+                b.iter(|| {
+                    let wire = resp.encode();
+                    black_box(Response::decode(&wire).expect("decode"))
+                })
+            },
+        );
     }
     g.finish();
 }

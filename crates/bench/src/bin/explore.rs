@@ -35,7 +35,9 @@ impl Args {
     }
 
     fn num<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
-        self.get(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(flag)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -90,7 +92,11 @@ fn main() {
     );
     let r = exp.run();
 
-    let mut t = Table::new("explore", &format!("{} custom run", design.label()), &["metric", "value"]);
+    let mut t = Table::new(
+        "explore",
+        &format!("{} custom run", design.label()),
+        &["metric", "value"],
+    );
     let gets = (r.hits + r.misses).max(1);
     t.row(vec!["mean latency (us)".into(), us(r.mean_latency_ns)]);
     t.row(vec!["p99 latency (us)".into(), us(r.p99_latency_ns)]);
@@ -107,7 +113,10 @@ fn main() {
         "ssd-hit rate %".into(),
         format!("{:.2}", 100.0 * r.ssd_hits as f64 / gets as f64),
     ]);
-    t.row(vec!["backend queries".into(), r.backend_fetches.to_string()]);
+    t.row(vec![
+        "backend queries".into(),
+        r.backend_fetches.to_string(),
+    ]);
     t.row(vec![
         "stage: slab alloc (us)".into(),
         us_f(r.breakdown.slab_alloc_ns),

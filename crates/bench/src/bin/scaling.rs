@@ -31,7 +31,12 @@ fn main() {
     let mut t = Table::new(
         "scaling",
         "Aggregated throughput (ops/s) vs server count, 32 clients, 8 KiB kv",
-        &["servers", "H-RDMA-Opt-Block", "H-RDMA-Opt-NonB-i", "NonB-i speedup vs 1 server"],
+        &[
+            "servers",
+            "H-RDMA-Opt-Block",
+            "H-RDMA-Opt-NonB-i",
+            "NonB-i speedup vs 1 server",
+        ],
     );
     let mut base_nonb = 0.0;
     for servers in [1usize, 2, 4, 8] {

@@ -15,7 +15,11 @@ use nbkv_simrt::Sim;
 use nbkv_storesim::DeviceProfile;
 use nbkv_workload::{preload, run_workload, AccessPattern, OpMix, WorkloadSpec};
 
-const DESIGNS: [Design; 3] = [Design::HRdmaDef, Design::HRdmaOptBlock, Design::HRdmaOptNonBI];
+const DESIGNS: [Design; 3] = [
+    Design::HRdmaDef,
+    Design::HRdmaOptBlock,
+    Design::HRdmaOptNonBI,
+];
 
 fn run_one(design: Design, mutate: &dyn Fn(&mut ClusterConfig)) -> u64 {
     let mem = scaled_bytes(1 << 30);
@@ -65,7 +69,13 @@ fn main() {
     let mut t = Table::new(
         "sensitivity",
         "Headline ordering under calibration-knob sweeps (avg latency, us; data > memory)",
-        &["knob setting", "H-RDMA-Def", "Opt-Block", "NonB-i", "Def > Opt > NonB ?"],
+        &[
+            "knob setting",
+            "H-RDMA-Def",
+            "Opt-Block",
+            "NonB-i",
+            "Def > Opt > NonB ?",
+        ],
     );
 
     sweep(&mut t, "baseline", &|_| {});

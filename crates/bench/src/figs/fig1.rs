@@ -30,7 +30,14 @@ fn case_table(id: &str, title: &str, fits: bool) -> Table {
     let mut t = Table::new(
         id,
         title,
-        &["design", "avg latency (us)", "p99 (us)", "miss %", "ssd-hit %", "miss-penalty share (us)"],
+        &[
+            "design",
+            "avg latency (us)",
+            "p99 (us)",
+            "miss %",
+            "ssd-hit %",
+            "miss-penalty share (us)",
+        ],
     );
     let mut lat: Vec<(Design, f64)> = Vec::new();
     for design in DESIGNS {
@@ -69,6 +76,10 @@ fn case_table(id: &str, title: &str, fits: bool) -> Table {
 pub fn run() -> Vec<Table> {
     vec![
         case_table("fig1a", "Set/Get latency, data fits in memory", true),
-        case_table("fig1b", "Set/Get latency, data does NOT fit (2 ms miss penalty)", false),
+        case_table(
+            "fig1b",
+            "Set/Get latency, data does NOT fit (2 ms miss penalty)",
+            false,
+        ),
     ]
 }

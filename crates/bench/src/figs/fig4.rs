@@ -1,7 +1,6 @@
 //! Figure 4 — synchronous eviction cost of the three I/O schemes across
 //! data sizes (the measurement behind the adaptive slab allocator).
 
-
 use nbkv_simrt::Sim;
 use nbkv_storesim::{sata_ssd, HostModel, IoScheme, SlabIo, SlabIoConfig, SsdDevice};
 
@@ -69,9 +68,18 @@ mod tests {
     fn fig4_shape_holds() {
         let small = 4 << 10;
         let large = 1 << 20;
-        assert!(sync_write_cost_ns(IoScheme::Direct, small) > sync_write_cost_ns(IoScheme::Mmap, small));
-        assert!(sync_write_cost_ns(IoScheme::Mmap, small) < sync_write_cost_ns(IoScheme::Cached, small));
-        assert!(sync_write_cost_ns(IoScheme::Cached, large) < sync_write_cost_ns(IoScheme::Mmap, large));
-        assert!(sync_write_cost_ns(IoScheme::Direct, large) > sync_write_cost_ns(IoScheme::Cached, large));
+        assert!(
+            sync_write_cost_ns(IoScheme::Direct, small) > sync_write_cost_ns(IoScheme::Mmap, small)
+        );
+        assert!(
+            sync_write_cost_ns(IoScheme::Mmap, small) < sync_write_cost_ns(IoScheme::Cached, small)
+        );
+        assert!(
+            sync_write_cost_ns(IoScheme::Cached, large) < sync_write_cost_ns(IoScheme::Mmap, large)
+        );
+        assert!(
+            sync_write_cost_ns(IoScheme::Direct, large)
+                > sync_write_cost_ns(IoScheme::Cached, large)
+        );
     }
 }

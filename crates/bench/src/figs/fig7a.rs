@@ -30,7 +30,11 @@ pub fn run() -> Vec<Table> {
     for (label, design) in cases {
         let ro = overlap_pct(design, OpMix::READ_ONLY);
         let wh = overlap_pct(design, OpMix::WRITE_HEAVY);
-        t.row(vec![label.to_string(), format!("{ro:.1}"), format!("{wh:.1}")]);
+        t.row(vec![
+            label.to_string(),
+            format!("{ro:.1}"),
+            format!("{wh:.1}"),
+        ]);
     }
     t.note("paper Fig 7(a): NonB-i up to 92% for both mixes; NonB-b up to 89% read-only but <12% write-heavy (bset blocks for buffer reuse); blocking offers no overlap.");
     vec![t]

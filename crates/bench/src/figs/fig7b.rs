@@ -26,7 +26,14 @@ pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "fig7b",
         "Avg Set/Get latency (us) vs key-value size, data does NOT fit",
-        &["kv size", "H-RDMA-Def", "H-RDMA-Opt-Block", "NonB-b", "NonB-i", "NonB-i gain vs Opt-Block %"],
+        &[
+            "kv size",
+            "H-RDMA-Def",
+            "H-RDMA-Opt-Block",
+            "NonB-b",
+            "NonB-i",
+            "NonB-i gain vs Opt-Block %",
+        ],
     );
     for (label, len) in [
         ("4 KiB", 4 << 10),

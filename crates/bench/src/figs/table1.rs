@@ -26,7 +26,11 @@ pub fn run() -> Vec<Table> {
     let yn = |b: bool| if b { "Y" } else { "N" }.to_string();
     t.row(
         std::iter::once("RDMA-based communication".to_string())
-            .chain(designs.iter().map(|d| yn(d.fabric_profile().name.starts_with("rdma"))))
+            .chain(
+                designs
+                    .iter()
+                    .map(|d| yn(d.fabric_profile().name.starts_with("rdma"))),
+            )
             .collect(),
     );
     t.row(
@@ -61,7 +65,9 @@ pub fn run() -> Vec<Table> {
             .chain(designs.iter().map(|d| yn(d.flavor().is_nonblocking())))
             .collect(),
     );
-    t.note("Paper Table I: only 'This Paper' has adaptive I/O, NVMe support, and non-blocking APIs.");
+    t.note(
+        "Paper Table I: only 'This Paper' has adaptive I/O, NVMe support, and non-blocking APIs.",
+    );
     vec![t]
 }
 

@@ -2,9 +2,11 @@
 //! non-blocking API extensions.
 
 pub mod request;
+pub mod resilience;
 pub mod ring;
 pub mod runtime;
 
 pub use request::{Completion, ReqHandle};
+pub use resilience::{BackoffSchedule, BreakerConfig, ResiliencePolicy};
 pub use ring::Ring;
 pub use runtime::{Client, ClientConfig, ClientError, ClientStats};

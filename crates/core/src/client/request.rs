@@ -5,13 +5,18 @@
 //! `memcached_wait`; [`ReqHandle::test`] is `memcached_test`.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use nbkv_simrt::{Notify, Sim, SimTime};
+use nbkv_simrt::{Notify, Semaphore, Sim, SimTime};
 use std::time::Duration;
 
 use crate::proto::{OpStatus, Response, StageTimes};
+
+/// Outstanding-request table shared between the client, its progress
+/// tasks, and every [`ReqHandle`] (for cancellation).
+pub(crate) type Pending = Rc<RefCell<HashMap<u64, Rc<RefCell<ReqState>>>>>;
 
 /// Outcome of a completed operation.
 #[derive(Debug, Clone)]
@@ -37,12 +42,17 @@ pub struct Completion {
 impl Completion {
     /// End-to-end latency in virtual nanoseconds.
     pub fn latency_ns(&self) -> u64 {
-        self.completed_at.saturating_since(self.issued_at).as_nanos() as u64
+        self.completed_at
+            .saturating_since(self.issued_at)
+            .as_nanos() as u64
     }
 
     /// True if the operation found/stored what it asked for.
     pub fn is_success(&self) -> bool {
-        matches!(self.status, OpStatus::Stored | OpStatus::Hit | OpStatus::Deleted)
+        matches!(
+            self.status,
+            OpStatus::Stored | OpStatus::Hit | OpStatus::Deleted
+        )
     }
 }
 
@@ -72,12 +82,32 @@ impl ReqState {
 pub struct ReqHandle {
     pub(crate) sim: Sim,
     pub(crate) state: Rc<RefCell<ReqState>>,
+    pub(crate) req_id: u64,
+    pub(crate) pending: Pending,
+    pub(crate) window: Rc<Semaphore>,
 }
 
 impl ReqHandle {
     /// True once the server's response has arrived.
     pub fn is_done(&self) -> bool {
         self.state.borrow().done
+    }
+
+    /// Abandon an in-flight request: drop it from the outstanding table and
+    /// release its send-window slot. Returns `true` if the request was
+    /// still in flight (a completed or already-cancelled request is a
+    /// no-op). A response that arrives after cancellation is counted as an
+    /// orphan in [`crate::ClientStats`].
+    pub fn cancel(&self) -> bool {
+        if self.state.borrow().done {
+            return false;
+        }
+        if self.pending.borrow_mut().remove(&self.req_id).is_some() {
+            self.window.add_permits(1);
+            true
+        } else {
+            false
+        }
     }
 
     /// Non-blocking completion check (`memcached_test`): `Some` with the
@@ -94,9 +124,19 @@ impl ReqHandle {
     /// Wait for completion, giving up after `dur` of virtual time.
     ///
     /// Real memcached clients run with operation timeouts; a request to a
-    /// crashed or unreachable server would otherwise wait forever.
+    /// crashed or unreachable server would otherwise wait forever. On
+    /// timeout the request is [cancelled](Self::cancel) — its outstanding
+    /// entry and send-window slot are reclaimed, so timed-out operations
+    /// cannot leak the client's issue window. (To keep waiting instead,
+    /// use [`nbkv_simrt::timeout`] around [`wait`](Self::wait) directly.)
     pub async fn wait_timeout(&self, dur: Duration) -> Result<Completion, nbkv_simrt::Elapsed> {
-        nbkv_simrt::timeout(&self.sim, dur, self.wait()).await
+        match nbkv_simrt::timeout(&self.sim, dur, self.wait()).await {
+            Ok(c) => Ok(c),
+            Err(elapsed) => {
+                self.cancel();
+                Err(elapsed)
+            }
+        }
     }
 
     /// Wait (in virtual time) for completion (`memcached_wait`).
@@ -154,7 +194,12 @@ fn build_completion(s: &ReqState) -> Completion {
             issued_at: s.issued_at,
             completed_at,
         },
-        Response::Counter { status, stages, value, .. } => Completion {
+        Response::Counter {
+            status,
+            stages,
+            value,
+            ..
+        } => Completion {
             status: *status,
             value: None,
             flags: 0,

@@ -24,17 +24,20 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::future::Future;
 use std::rc::Rc;
+use std::task::Poll;
 use std::time::Duration;
 
 use bytes::Bytes;
 use nbkv_fabric::{MrCache, Transport, TransportRx, TransportTx};
 use nbkv_simrt::{Semaphore, Sim};
 
-use crate::client::request::{Completion, ReqHandle, ReqState};
+use crate::client::request::{Completion, Pending, ReqHandle, ReqState};
+use crate::client::resilience::{Breaker, ResiliencePolicy};
 use crate::client::ring::Ring;
 use crate::costs::CpuCosts;
-use crate::proto::{ApiFlavor, Request, Response, SetMode};
+use crate::proto::{ApiFlavor, OpStatus, Request, Response, SetMode};
 
 /// Client configuration.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +46,8 @@ pub struct ClientConfig {
     pub max_outstanding: usize,
     /// CPU cost model.
     pub costs: CpuCosts,
+    /// Deadlines, retries, and failover for the blocking API.
+    pub resilience: ResiliencePolicy,
 }
 
 impl Default for ClientConfig {
@@ -50,6 +55,7 @@ impl Default for ClientConfig {
         ClientConfig {
             max_outstanding: 1024,
             costs: CpuCosts::default_costs(),
+            resilience: ResiliencePolicy::default(),
         }
     }
 }
@@ -64,12 +70,32 @@ pub const INLINE_THRESHOLD: usize = 4 << 10;
 pub enum ClientError {
     /// The connection to the selected server is gone.
     Disconnected,
+    /// Every attempt ran out its per-attempt deadline with no response.
+    TimedOut,
+    /// No routable server: connections were down or circuit breakers open
+    /// on every attempt.
+    ServerUnavailable,
+    /// The retry budget was exhausted by a mix of failure kinds.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// Every attempt completed but the server reported an I/O error (e.g.
+    /// an injected SSD fault) — only with
+    /// [`ResiliencePolicy::retry_server_errors`].
+    IoError,
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Disconnected => write!(f, "server disconnected"),
+            ClientError::TimedOut => write!(f, "operation deadline exceeded"),
+            ClientError::ServerUnavailable => write!(f, "no server available"),
+            ClientError::RetriesExhausted { attempts } => {
+                write!(f, "retries exhausted after {attempts} attempts")
+            }
+            ClientError::IoError => write!(f, "server-side I/O error"),
         }
     }
 }
@@ -83,11 +109,18 @@ pub struct ClientStats {
     pub issued: u64,
     /// Responses completed.
     pub completed: u64,
-    /// Responses that arrived with no matching request (late/duplicate).
+    /// Responses that arrived with no matching request (late/duplicate,
+    /// including responses to cancelled or timed-out requests).
     pub orphans: u64,
+    /// Blocking attempts that ran out their deadline.
+    pub timeouts: u64,
+    /// Retry attempts made by blocking operations.
+    pub retries: u64,
+    /// Hedge requests posted by blocking gets.
+    pub hedges: u64,
+    /// Attempts rejected because every candidate breaker was open.
+    pub breaker_rejections: u64,
 }
-
-type Pending = Rc<RefCell<HashMap<u64, Rc<RefCell<ReqState>>>>>;
 
 /// A Memcached client bound to one or more servers.
 pub struct Client {
@@ -100,6 +133,7 @@ pub struct Client {
     mr: MrCache,
     window: Rc<Semaphore>,
     stats: Rc<RefCell<ClientStats>>,
+    breakers: Vec<Breaker>,
 }
 
 impl Client {
@@ -126,6 +160,7 @@ impl Client {
             sim.spawn(task.run());
         }
         let ring = Ring::new(txs.len());
+        let breakers = (0..txs.len()).map(|_| Breaker::default()).collect();
         Rc::new(Client {
             sim: sim.clone(),
             cfg,
@@ -136,7 +171,18 @@ impl Client {
             mr: MrCache::new(sim.clone(), profile),
             window,
             stats,
+            breakers,
         })
+    }
+
+    /// The resilience policy in force.
+    pub fn policy(&self) -> ResiliencePolicy {
+        self.cfg.resilience
+    }
+
+    /// Total circuit-breaker trips across all servers.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breakers.iter().map(|b| b.trips()).sum()
     }
 
     /// Counter snapshot.
@@ -185,8 +231,16 @@ impl Client {
     ) -> Result<ReqHandle, ClientError> {
         self.prepare_buffer(&key).await;
         self.prepare_buffer(&value).await;
-        self.issue_set(key, value, flags, expire, ApiFlavor::NonBlockingI, false, SetMode::Set)
-            .await
+        self.issue_set(
+            key,
+            value,
+            flags,
+            expire,
+            ApiFlavor::NonBlockingI,
+            false,
+            SetMode::Set,
+        )
+        .await
     }
 
     /// Non-blocking set that returns once the key/value buffers are
@@ -200,26 +254,33 @@ impl Client {
     ) -> Result<ReqHandle, ClientError> {
         self.prepare_buffer(&key).await;
         self.prepare_buffer(&value).await;
-        self.issue_set(key, value, flags, expire, ApiFlavor::NonBlockingB, true, SetMode::Set)
-            .await
+        self.issue_set(
+            key,
+            value,
+            flags,
+            expire,
+            ApiFlavor::NonBlockingB,
+            true,
+            SetMode::Set,
+        )
+        .await
     }
 
     /// Non-blocking get, no buffer-reuse guarantee (`memcached_iget`).
     pub async fn iget(&self, key: Bytes) -> Result<ReqHandle, ClientError> {
         self.prepare_buffer(&key).await;
-        self.issue_keyed(key, ApiFlavor::NonBlockingI, false, RequestKind::Get)
-            .await
+        self.issue_get(key, ApiFlavor::NonBlockingI, false).await
     }
 
     /// Non-blocking get that returns once the key buffer is reusable
     /// (`memcached_bget`).
     pub async fn bget(&self, key: Bytes) -> Result<ReqHandle, ClientError> {
         self.prepare_buffer(&key).await;
-        self.issue_keyed(key, ApiFlavor::NonBlockingB, true, RequestKind::Get)
-            .await
+        self.issue_get(key, ApiFlavor::NonBlockingB, true).await
     }
 
-    /// Blocking set (`memcached_set`): issue and wait for the response.
+    /// Blocking set (`memcached_set`): issue and wait for the response,
+    /// under the configured [`ResiliencePolicy`] (deadline + retries).
     pub async fn set(
         &self,
         key: Bytes,
@@ -229,28 +290,44 @@ impl Client {
     ) -> Result<Completion, ClientError> {
         self.prepare_buffer(&key).await;
         self.prepare_buffer(&value).await;
-        let h = self
-            .issue_set(key, value, flags, expire, ApiFlavor::Block, false, SetMode::Set)
-            .await?;
-        Ok(h.wait().await)
+        let expire_at_ns = expire.map_or(0, |d| (self.sim.now() + d).as_nanos());
+        let server = self.ring.select(&key);
+        self.call_blocking(server, false, &|req_id| Request::Set {
+            req_id,
+            flavor: ApiFlavor::Block,
+            mode: SetMode::Set,
+            flags,
+            expire_at_ns,
+            key: key.clone(),
+            value: value.clone(),
+        })
+        .await
     }
 
-    /// Blocking get (`memcached_get`).
+    /// Blocking get (`memcached_get`), under the configured
+    /// [`ResiliencePolicy`] — including hedging when
+    /// [`ResiliencePolicy::hedge_after`] is set.
     pub async fn get(&self, key: Bytes) -> Result<Completion, ClientError> {
         self.mr.ensure_registered(&key).await;
-        let h = self
-            .issue_keyed(key, ApiFlavor::Block, false, RequestKind::Get)
-            .await?;
-        Ok(h.wait().await)
+        let server = self.ring.select(&key);
+        self.call_blocking(server, true, &|req_id| Request::Get {
+            req_id,
+            flavor: ApiFlavor::Block,
+            key: key.clone(),
+        })
+        .await
     }
 
     /// Blocking delete.
     pub async fn delete(&self, key: Bytes) -> Result<Completion, ClientError> {
         self.mr.ensure_registered(&key).await;
-        let h = self
-            .issue_keyed(key, ApiFlavor::Block, false, RequestKind::Delete)
-            .await?;
-        Ok(h.wait().await)
+        let server = self.ring.select(&key);
+        self.call_blocking(server, false, &|req_id| Request::Delete {
+            req_id,
+            flavor: ApiFlavor::Block,
+            key: key.clone(),
+        })
+        .await
     }
 
     /// Store only if the key is absent (memcached `add`). Fails with
@@ -262,7 +339,8 @@ impl Client {
         flags: u32,
         expire: Option<Duration>,
     ) -> Result<Completion, ClientError> {
-        self.conditional_store(SetMode::Add, key, value, flags, expire).await
+        self.conditional_store(SetMode::Add, key, value, flags, expire)
+            .await
     }
 
     /// Store only if the key is present (memcached `replace`).
@@ -273,7 +351,8 @@ impl Client {
         flags: u32,
         expire: Option<Duration>,
     ) -> Result<Completion, ClientError> {
-        self.conditional_store(SetMode::Replace, key, value, flags, expire).await
+        self.conditional_store(SetMode::Replace, key, value, flags, expire)
+            .await
     }
 
     /// Compare-and-swap: store only if the entry's CAS token (from a get's
@@ -286,17 +365,20 @@ impl Client {
         expire: Option<Duration>,
         cas: u64,
     ) -> Result<Completion, ClientError> {
-        self.conditional_store(SetMode::Cas(cas), key, value, flags, expire).await
+        self.conditional_store(SetMode::Cas(cas), key, value, flags, expire)
+            .await
     }
 
     /// Append bytes to an existing value (keeps its flags and expiry).
     pub async fn append(&self, key: Bytes, value: Bytes) -> Result<Completion, ClientError> {
-        self.conditional_store(SetMode::Append, key, value, 0, None).await
+        self.conditional_store(SetMode::Append, key, value, 0, None)
+            .await
     }
 
     /// Prepend bytes to an existing value.
     pub async fn prepend(&self, key: Bytes, value: Bytes) -> Result<Completion, ClientError> {
-        self.conditional_store(SetMode::Prepend, key, value, 0, None).await
+        self.conditional_store(SetMode::Prepend, key, value, 0, None)
+            .await
     }
 
     /// Increment a decimal counter value (memcached `incr`); returns the
@@ -321,19 +403,19 @@ impl Client {
         self.prepare_buffer(&key).await;
         let expire_at_ns = expire.map_or(0, |d| (self.sim.now() + d).as_nanos());
         let server = self.ring.select(&key);
-        let req_id = self.alloc_req_id();
-        let req = Request::Touch {
+        self.call_blocking(server, false, &|req_id| Request::Touch {
             req_id,
             flavor: ApiFlavor::Block,
-            key,
+            key: key.clone(),
             expire_at_ns,
-        };
-        let h = self.post(server, req, false).await?;
-        Ok(h.wait().await)
+        })
+        .await
     }
 
     /// Fetch a full observability snapshot from server `server_idx`
-    /// (memcached's `stats` command).
+    /// (memcached's `stats` command). Stats target a specific server, so
+    /// there is no failover; the policy deadline still applies (a crashed
+    /// server yields [`ClientError::TimedOut`], not a hang).
     pub async fn server_stats(
         &self,
         server_idx: usize,
@@ -345,7 +427,10 @@ impl Client {
             flavor: ApiFlavor::Block,
         };
         let h = self.post(server_idx, req, false).await?;
-        let done = h.wait().await;
+        let done = match self.cfg.resilience.deadline {
+            Some(d) => h.wait_timeout(d).await.map_err(|_| ClientError::TimedOut)?,
+            None => h.wait().await,
+        };
         let payload = done.value.expect("stats response carries JSON");
         Ok(serde_json::from_slice(&payload).expect("stats JSON parses"))
     }
@@ -370,10 +455,18 @@ impl Client {
     ) -> Result<Completion, ClientError> {
         self.prepare_buffer(&key).await;
         self.prepare_buffer(&value).await;
-        let h = self
-            .issue_set(key, value, flags, expire, ApiFlavor::Block, false, mode)
-            .await?;
-        Ok(h.wait().await)
+        let expire_at_ns = expire.map_or(0, |d| (self.sim.now() + d).as_nanos());
+        let server = self.ring.select(&key);
+        self.call_blocking(server, false, &|req_id| Request::Set {
+            req_id,
+            flavor: ApiFlavor::Block,
+            mode,
+            flags,
+            expire_at_ns,
+            key: key.clone(),
+            value: value.clone(),
+        })
+        .await
     }
 
     async fn counter_op(
@@ -384,16 +477,14 @@ impl Client {
     ) -> Result<Completion, ClientError> {
         self.prepare_buffer(&key).await;
         let server = self.ring.select(&key);
-        let req_id = self.alloc_req_id();
-        let req = Request::Counter {
+        self.call_blocking(server, false, &|req_id| Request::Counter {
             req_id,
             flavor: ApiFlavor::Block,
-            key,
+            key: key.clone(),
             delta,
             negative,
-        };
-        let h = self.post(server, req, false).await?;
-        Ok(h.wait().await)
+        })
+        .await
     }
 
     /// Wait for a batch of handles (the end-of-block `memcached_wait` of
@@ -434,18 +525,18 @@ impl Client {
         self.post(server, req, wait_sent).await
     }
 
-    async fn issue_keyed(
+    async fn issue_get(
         &self,
         key: Bytes,
         flavor: ApiFlavor,
         wait_sent: bool,
-        kind: RequestKind,
     ) -> Result<ReqHandle, ClientError> {
         let server = self.ring.select(&key);
         let req_id = self.alloc_req_id();
-        let req = match kind {
-            RequestKind::Get => Request::Get { req_id, flavor, key },
-            RequestKind::Delete => Request::Delete { req_id, flavor, key },
+        let req = Request::Get {
+            req_id,
+            flavor,
+            key,
         };
         self.post(server, req, wait_sent).await
     }
@@ -475,6 +566,9 @@ impl Client {
                 Ok(ReqHandle {
                     sim: self.sim.clone(),
                     state,
+                    req_id,
+                    pending: Rc::clone(&self.pending),
+                    window: Rc::clone(&self.window),
                 })
             }
             Err(_) => {
@@ -490,11 +584,215 @@ impl Client {
         self.next_id.set(id + 1);
         id
     }
+
+    // -- resilience engine --------------------------------------------------
+
+    /// Run a blocking operation under the [`ResiliencePolicy`]: per-attempt
+    /// deadline, bounded retries with deterministic backoff, breaker-driven
+    /// failover, and (for gets) optional hedging.
+    async fn call_blocking(
+        &self,
+        primary: usize,
+        hedge_ok: bool,
+        make: &dyn Fn(u64) -> Request,
+    ) -> Result<Completion, ClientError> {
+        let pol = self.cfg.resilience;
+        let max_attempts = pol.max_attempts.max(1);
+        let mut backoff = pol.backoff(self.next_id.get());
+        let (mut timeouts, mut unavailable, mut server_errors) = (0u32, 0u32, 0u32);
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                self.stats.borrow_mut().retries += 1;
+                let delay = backoff.next_delay();
+                if !delay.is_zero() {
+                    self.sim.sleep(delay).await;
+                }
+            }
+            let Some(server) = self.route(primary) else {
+                self.stats.borrow_mut().breaker_rejections += 1;
+                unavailable += 1;
+                continue;
+            };
+            let h = match self.post(server, make(self.alloc_req_id()), false).await {
+                Ok(h) => h,
+                Err(_) => {
+                    self.note_failure(server);
+                    unavailable += 1;
+                    continue;
+                }
+            };
+            match self.await_attempt(&h, server, &pol, hedge_ok, make).await {
+                Some(c) => {
+                    if pol.retry_server_errors && c.status == OpStatus::Error {
+                        server_errors += 1;
+                        continue;
+                    }
+                    return Ok(c);
+                }
+                None => timeouts += 1,
+            }
+        }
+        Err(match (timeouts, unavailable, server_errors) {
+            (_, 0, 0) => ClientError::TimedOut,
+            (0, _, 0) => ClientError::ServerUnavailable,
+            (0, 0, _) => ClientError::IoError,
+            _ => ClientError::RetriesExhausted {
+                attempts: max_attempts,
+            },
+        })
+    }
+
+    /// Wait out one attempt; `None` means the deadline elapsed (the request
+    /// has been cancelled and its window slot reclaimed).
+    async fn await_attempt(
+        &self,
+        h: &ReqHandle,
+        server: usize,
+        pol: &ResiliencePolicy,
+        hedge_ok: bool,
+        make: &dyn Fn(u64) -> Request,
+    ) -> Option<Completion> {
+        // Hedged path: wait `hedge_after` on the primary, then race a
+        // duplicate posted to the next ring server.
+        if hedge_ok {
+            if let Some(hedge_after) = pol.hedge_after {
+                if pol.deadline.is_none_or(|d| hedge_after < d) {
+                    if let Ok(c) = nbkv_simrt::timeout(&self.sim, hedge_after, h.wait()).await {
+                        self.note_success(server);
+                        return Some(c);
+                    }
+                    let remaining = pol.deadline.map(|d| d.saturating_sub(hedge_after));
+                    if let Some(hs) = self.route_hedge(server) {
+                        if let Ok(h2) = self.post(hs, make(self.alloc_req_id()), false).await {
+                            self.stats.borrow_mut().hedges += 1;
+                            let raced = race_waits(h, &h2);
+                            let res = match remaining {
+                                Some(rem) => nbkv_simrt::timeout(&self.sim, rem, raced).await,
+                                None => Ok(raced.await),
+                            };
+                            return match res {
+                                Ok((c, from_primary)) => {
+                                    if from_primary {
+                                        h2.cancel();
+                                        self.note_success(server);
+                                    } else {
+                                        h.cancel();
+                                        self.note_success(hs);
+                                    }
+                                    Some(c)
+                                }
+                                Err(_) => {
+                                    h.cancel();
+                                    h2.cancel();
+                                    self.note_timeout(server);
+                                    self.note_failure(hs);
+                                    None
+                                }
+                            };
+                        }
+                    }
+                    // No hedge target: run out the rest of the deadline.
+                    return match remaining {
+                        Some(rem) => match nbkv_simrt::timeout(&self.sim, rem, h.wait()).await {
+                            Ok(c) => {
+                                self.note_success(server);
+                                Some(c)
+                            }
+                            Err(_) => {
+                                h.cancel();
+                                self.note_timeout(server);
+                                None
+                            }
+                        },
+                        None => {
+                            let c = h.wait().await;
+                            self.note_success(server);
+                            Some(c)
+                        }
+                    };
+                }
+            }
+        }
+        match pol.deadline {
+            None => {
+                let c = h.wait().await;
+                self.note_success(server);
+                Some(c)
+            }
+            Some(d) => match nbkv_simrt::timeout(&self.sim, d, h.wait()).await {
+                Ok(c) => {
+                    self.note_success(server);
+                    Some(c)
+                }
+                Err(_) => {
+                    h.cancel();
+                    self.note_timeout(server);
+                    None
+                }
+            },
+        }
+    }
+
+    /// Pick the server for an attempt: the ring's primary unless its
+    /// breaker is open, in which case the next ring server whose breaker
+    /// allows traffic (memcached-style host ejection). `None` when every
+    /// breaker is open.
+    fn route(&self, primary: usize) -> Option<usize> {
+        if self.cfg.resilience.breaker.is_none() {
+            return Some(primary);
+        }
+        let now = self.sim.now();
+        let n = self.txs.len();
+        (0..n)
+            .map(|k| (primary + k) % n)
+            .find(|&s| self.breakers[s].allows(now))
+    }
+
+    /// A hedge target distinct from `primary`, if any breaker allows one.
+    fn route_hedge(&self, primary: usize) -> Option<usize> {
+        let n = self.txs.len();
+        if n < 2 {
+            return None;
+        }
+        let now = self.sim.now();
+        (1..n)
+            .map(|k| (primary + k) % n)
+            .find(|&s| self.cfg.resilience.breaker.is_none() || self.breakers[s].allows(now))
+    }
+
+    fn note_success(&self, server: usize) {
+        self.breakers[server].on_success();
+    }
+
+    fn note_failure(&self, server: usize) {
+        if let Some(bc) = self.cfg.resilience.breaker {
+            self.breakers[server].on_failure(self.sim.now(), &bc);
+        }
+    }
+
+    fn note_timeout(&self, server: usize) {
+        self.stats.borrow_mut().timeouts += 1;
+        self.note_failure(server);
+    }
 }
 
-enum RequestKind {
-    Get,
-    Delete,
+/// Race two in-flight requests; resolves with the first completion and
+/// whether it came from the first handle.
+fn race_waits<'a>(
+    a: &'a ReqHandle,
+    b: &'a ReqHandle,
+) -> impl Future<Output = (Completion, bool)> + 'a {
+    let mut fa = Box::pin(a.wait());
+    let mut fb = Box::pin(b.wait());
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(c) = fa.as_mut().poll(cx) {
+            return Poll::Ready((c, true));
+        }
+        if let Poll::Ready(c) = fb.as_mut().poll(cx) {
+            return Poll::Ready((c, false));
+        }
+        Poll::Pending
+    })
 }
 
 /// Per-connection completion engine.

@@ -1,18 +1,57 @@
 //! In-process simulated cluster builder: N servers, M clients, one fabric.
 
 use std::rc::Rc;
+use std::time::Duration;
 
-use nbkv_fabric::{Fabric, FabricProfile};
-use nbkv_simrt::Sim;
-use nbkv_storesim::{DeviceProfile, HostModel, SlabIo, SlabIoConfig, SsdDevice};
+use nbkv_fabric::{Fabric, FabricProfile, FaultPlan, FaultStats, LinkFaultHandle};
+use nbkv_simrt::{Sim, SimTime};
+use nbkv_storesim::{
+    DeviceProfile, HostModel, SlabIo, SlabIoConfig, SsdDevice, SsdFaultPlan, SsdFaultStats,
+};
 
 use crate::client::{Client, ClientConfig};
 use crate::costs::CpuCosts;
 use crate::designs::{Design, SpecParams};
 use crate::server::Server;
 
+/// One scripted server crash (and optional warm restart) in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Index of the server that crashes.
+    pub server: usize,
+    /// When the crash happens.
+    pub at: Duration,
+    /// When the warm restart happens (`None` leaves the node down).
+    pub restart_at: Option<Duration>,
+}
+
+/// Deterministic chaos schedule for a whole cluster.
+///
+/// Fault plans given here are *templates*: `build_cluster` re-derives each
+/// link's and device's seed from [`seed`](Self::seed) plus its topology
+/// coordinates, so faults are decorrelated across links but the entire
+/// schedule replays bit-for-bit for a fixed config.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosConfig {
+    /// Base seed for all per-link / per-device derivations.
+    pub seed: u64,
+    /// Fault plan applied to every link, both directions.
+    pub link_faults: Option<FaultPlan>,
+    /// Fault plan applied to every SSD device (hybrid designs).
+    pub ssd_faults: Option<SsdFaultPlan>,
+    /// Scripted crash/restart events.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl ChaosConfig {
+    /// True if this config perturbs nothing.
+    pub fn is_quiet(&self) -> bool {
+        self.link_faults.is_none() && self.ssd_faults.is_none() && self.crashes.is_empty()
+    }
+}
+
 /// Cluster configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Which of the paper's designs to instantiate.
     pub design: Design,
@@ -41,6 +80,8 @@ pub struct ClusterConfig {
     /// Override the transport profile the design would normally pick
     /// (e.g. to add jitter or change bandwidth for sensitivity studies).
     pub fabric_override: Option<FabricProfile>,
+    /// Deterministic fault-injection schedule (quiet by default).
+    pub chaos: ChaosConfig,
 }
 
 impl ClusterConfig {
@@ -59,6 +100,7 @@ impl ClusterConfig {
             costs: CpuCosts::default_costs(),
             client: ClientConfig::default(),
             fabric_override: None,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -71,13 +113,47 @@ pub struct Cluster {
     pub clients: Vec<Rc<Client>>,
     /// Per-server SSD devices (empty for in-memory designs).
     pub devices: Vec<Rc<SsdDevice>>,
+    /// Fault handles for every fabric link (both directions of every
+    /// client-server connection). These hold no send half, so they never
+    /// keep a connection alive past its endpoints.
+    pub links: Vec<LinkFaultHandle>,
+}
+
+impl Cluster {
+    /// Merged fault counters over every fabric link.
+    pub fn fabric_fault_stats(&self) -> FaultStats {
+        self.links
+            .iter()
+            .fold(FaultStats::default(), |acc, l| acc.merge(&l.fault_stats()))
+    }
+
+    /// Merged fault counters over every SSD device.
+    pub fn ssd_fault_stats(&self) -> SsdFaultStats {
+        self.devices
+            .iter()
+            .fold(SsdFaultStats::default(), |acc, d| {
+                acc.merge(&d.fault_stats())
+            })
+    }
+}
+
+/// Decorrelate a per-entity seed from the chaos base seed and topology
+/// coordinates (pure splitmix-style mix; stable across runs).
+fn derive_seed(base: u64, a: u64, b: u64) -> u64 {
+    let mut x =
+        base ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Build a cluster on `sim`: creates the fabric, the per-server SSDs (for
 /// hybrid designs), the servers, and fully-connected clients.
 pub fn build_cluster(sim: &Sim, cfg: &ClusterConfig) -> Cluster {
     assert!(cfg.servers > 0 && cfg.clients > 0);
-    let profile = cfg.fabric_override.unwrap_or_else(|| cfg.design.fabric_profile());
+    let profile = cfg
+        .fabric_override
+        .unwrap_or_else(|| cfg.design.fabric_profile());
     let fabric = Fabric::new(sim, profile);
     let server_cfg = cfg.design.server_config(SpecParams {
         mem_bytes: cfg.server_mem_bytes,
@@ -87,9 +163,14 @@ pub fn build_cluster(sim: &Sim, cfg: &ClusterConfig) -> Cluster {
 
     let mut servers = Vec::with_capacity(cfg.servers);
     let mut devices = Vec::new();
-    for _ in 0..cfg.servers {
+    for si in 0..cfg.servers {
         let ssd = if cfg.design.is_hybrid() {
             let dev = SsdDevice::new(sim, cfg.device);
+            if let Some(template) = &cfg.chaos.ssd_faults {
+                let mut plan = template.clone();
+                plan.seed = derive_seed(cfg.chaos.seed, si as u64, 0xD15C);
+                dev.set_fault_plan(Some(plan));
+            }
             devices.push(Rc::clone(&dev));
             Some(SlabIo::new(
                 sim,
@@ -107,20 +188,54 @@ pub fn build_cluster(sim: &Sim, cfg: &ClusterConfig) -> Cluster {
     }
 
     let mut clients = Vec::with_capacity(cfg.clients);
-    for _ in 0..cfg.clients {
+    let mut links = Vec::new();
+    for ci in 0..cfg.clients {
         let mut transports = Vec::with_capacity(cfg.servers);
-        for server in &servers {
+        for (si, server) in servers.iter().enumerate() {
             let (client_side, server_side) = fabric.connect();
+            if let Some(template) = &cfg.chaos.link_faults {
+                let pair = (ci * cfg.servers + si) as u64;
+                let mut c2s = template.clone();
+                c2s.seed = derive_seed(cfg.chaos.seed, pair, 0xC25);
+                client_side.set_fault_plan(Some(c2s));
+                let mut s2c = template.clone();
+                s2c.seed = derive_seed(cfg.chaos.seed, pair, 0x52C);
+                server_side.set_fault_plan(Some(s2c));
+            }
+            links.push(client_side.sender_link().fault_handle());
+            links.push(server_side.sender_link().fault_handle());
             server.accept(server_side);
             transports.push(client_side);
         }
         clients.push(Client::new(sim, transports, cfg.client));
     }
 
+    // Scripted crashes and warm restarts.
+    for ev in &cfg.chaos.crashes {
+        assert!(ev.server < servers.len(), "crash event for unknown server");
+        if let Some(r) = ev.restart_at {
+            assert!(ev.at < r, "restart must follow the crash");
+        }
+        let server = Rc::clone(&servers[ev.server]);
+        let s = sim.clone();
+        let ev = *ev;
+        sim.spawn(async move {
+            s.sleep_until(SimTime::from_nanos(ev.at.as_nanos() as u64))
+                .await;
+            server.crash();
+            if let Some(r) = ev.restart_at {
+                s.sleep_until(SimTime::from_nanos(r.as_nanos() as u64))
+                    .await;
+                server.restart().await;
+            }
+        });
+    }
+
     Cluster {
         servers,
         clients,
         devices,
+        links,
     }
 }
 

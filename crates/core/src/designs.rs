@@ -150,7 +150,11 @@ mod tests {
     #[test]
     fn only_ipoib_uses_ipoib_transport() {
         for d in Design::ALL {
-            let expect = if d == Design::IpoibMem { "ipoib-fdr" } else { "rdma-fdr" };
+            let expect = if d == Design::IpoibMem {
+                "ipoib-fdr"
+            } else {
+                "rdma-fdr"
+            };
             assert_eq!(d.fabric_profile().name, expect, "{d:?}");
         }
     }
@@ -164,7 +168,11 @@ mod tests {
 
     #[test]
     fn opt_designs_use_adaptive_io_and_pipeline() {
-        for d in [Design::HRdmaOptBlock, Design::HRdmaOptNonBB, Design::HRdmaOptNonBI] {
+        for d in [
+            Design::HRdmaOptBlock,
+            Design::HRdmaOptNonBB,
+            Design::HRdmaOptNonBI,
+        ] {
             let cfg = d.server_config(params());
             assert!(cfg.pipeline, "{d:?}");
             // Adaptive: small chunks mmap, large chunks cached.

@@ -50,9 +50,15 @@ pub mod proto;
 pub mod server;
 pub mod util;
 
-pub use client::{Client, ClientConfig, ClientError, Completion, ReqHandle};
+pub use client::{
+    BackoffSchedule, BreakerConfig, Client, ClientConfig, ClientError, Completion, ReqHandle,
+    ResiliencePolicy,
+};
 pub use cluster::{build_cluster, Cluster, ClusterConfig};
 pub use costs::CpuCosts;
 pub use designs::{Design, SpecParams};
 pub use proto::{ApiFlavor, OpStatus, Request, Response, ServedFrom, StageTimes};
-pub use server::{HybridStore, IoPolicy, PromotePolicy, Server, ServerConfig, StoreConfig, StoreKind};
+pub use server::{
+    HybridStore, IoPolicy, PromotePolicy, RecoveryReport, Server, ServerConfig, StoreConfig,
+    StoreKind,
+};

@@ -324,8 +324,16 @@ impl Request {
                 b.put_slice(value);
                 b.freeze()
             }
-            Request::Get { req_id, flavor, key } => encode_keyed(2, *req_id, *flavor, key),
-            Request::Delete { req_id, flavor, key } => encode_keyed(3, *req_id, *flavor, key),
+            Request::Get {
+                req_id,
+                flavor,
+                key,
+            } => encode_keyed(2, *req_id, *flavor, key),
+            Request::Delete {
+                req_id,
+                flavor,
+                key,
+            } => encode_keyed(3, *req_id, *flavor, key),
             Request::Counter {
                 req_id,
                 flavor,
@@ -424,9 +432,17 @@ impl Request {
                 let key_len = r.u32()? as usize;
                 let key = r.take(key_len)?;
                 Ok(if opcode == 2 {
-                    Request::Get { req_id, flavor, key }
+                    Request::Get {
+                        req_id,
+                        flavor,
+                        key,
+                    }
                 } else {
-                    Request::Delete { req_id, flavor, key }
+                    Request::Delete {
+                        req_id,
+                        flavor,
+                        key,
+                    }
                 })
             }
             op => Err(ProtoError::BadOpcode(op)),
@@ -527,8 +543,16 @@ impl Response {
     /// Encode to wire bytes.
     pub fn encode(&self) -> Bytes {
         match self {
-            Response::Set { req_id, status, stages } => encode_plain_resp(129, *req_id, *status, stages),
-            Response::Delete { req_id, status, stages } => encode_plain_resp(131, *req_id, *status, stages),
+            Response::Set {
+                req_id,
+                status,
+                stages,
+            } => encode_plain_resp(129, *req_id, *status, stages),
+            Response::Delete {
+                req_id,
+                status,
+                stages,
+            } => encode_plain_resp(131, *req_id, *status, stages),
             Response::Get {
                 req_id,
                 status,
@@ -580,8 +604,16 @@ impl Response {
         let req_id = r.u64()?;
         let stages = read_stages(&mut r)?;
         match opcode {
-            129 => Ok(Response::Set { req_id, status, stages }),
-            131 => Ok(Response::Delete { req_id, status, stages }),
+            129 => Ok(Response::Set {
+                req_id,
+                status,
+                stages,
+            }),
+            131 => Ok(Response::Delete {
+                req_id,
+                status,
+                stages,
+            }),
             130 => {
                 let flags = r.u32()?;
                 let cas = r.u64()?;
@@ -857,7 +889,11 @@ mod tests {
         let wire = req.encode();
         for cut in [0, 1, 5, 10, wire.len() - 1] {
             let partial = wire.slice(..cut);
-            assert_eq!(Request::decode(&partial), Err(ProtoError::Truncated), "cut={cut}");
+            assert_eq!(
+                Request::decode(&partial),
+                Err(ProtoError::Truncated),
+                "cut={cut}"
+            );
         }
     }
 

@@ -143,9 +143,7 @@ impl<V> HashTable<V> {
             };
             if matches {
                 match prev {
-                    Some(p) => {
-                        self.entries[p].as_mut().expect("live chain entry").next = next
-                    }
+                    Some(p) => self.entries[p].as_mut().expect("live chain entry").next = next,
                     None => self.buckets[b] = next,
                 }
                 let e = self.entries[idx].take().expect("live chain entry");

@@ -7,4 +7,7 @@ pub mod slab;
 pub mod store;
 
 pub use runtime::{Server, ServerConfig, ServerStats, StatsSnapshot};
-pub use store::{HybridStore, IoPolicy, OpOutcome, PromotePolicy, StoreConfig, StoreKind, StoreStats};
+pub use store::{
+    HybridStore, IoPolicy, OpOutcome, PromotePolicy, RecoveryReport, StoreConfig, StoreKind,
+    StoreStats,
+};

@@ -173,6 +173,23 @@ impl Server {
         self.closed.get()
     }
 
+    /// Simulate a power-loss crash: stop serving *and* lose all RAM state
+    /// (slab pool, hash index, flush buffers). SSD extents survive; a
+    /// later [`restart`](Self::restart) rebuilds the index from them.
+    pub fn crash(&self) {
+        self.closed.set(true);
+        self.store.crash();
+    }
+
+    /// Warm restart after [`crash`](Self::crash): scan the surviving SSD
+    /// extents to rebuild the RAM index (charging full device read costs
+    /// in virtual time), then resume serving requests.
+    pub async fn restart(&self) -> crate::server::RecoveryReport {
+        let report = self.store.recover().await;
+        self.closed.set(false);
+        report
+    }
+
     /// Accept a client connection; spawns the per-connection receive task.
     pub fn accept(self: &Rc<Self>, transport: Transport) {
         let (tx, rx) = transport.split();
@@ -352,9 +369,8 @@ impl Server {
 /// response (descriptor post + one-way link latency).
 fn with_response_estimate(out: OpOutcome, profile: &FabricProfile, value_len: usize) -> StageTimes {
     let resp_len = 52 + value_len + FRAME_OVERHEAD;
-    let est = profile.per_message_cpu
-        + profile.copy_cost(resp_len)
-        + profile.link.one_way(resp_len);
+    let est =
+        profile.per_message_cpu + profile.copy_cost(resp_len) + profile.link.one_way(resp_len);
     let mut stages = out.stages;
     stages.response_ns = est.as_nanos() as u64;
     stages
@@ -377,7 +393,11 @@ mod tests {
         let ssd = match cfg.store.kind {
             crate::server::StoreKind::Hybrid => {
                 let dev = SsdDevice::new(sim, instant_device());
-                Some(SlabIo::new(sim, dev, SlabIoConfig::default_for_tests(HostModel::zero())))
+                Some(SlabIo::new(
+                    sim,
+                    dev,
+                    SlabIoConfig::default_for_tests(HostModel::zero()),
+                ))
             }
             _ => None,
         };
@@ -408,7 +428,12 @@ mod tests {
         let (server, client) = rig(&sim, mem_cfg());
         sim.run_until(async move {
             let s = client
-                .set(Bytes::from_static(b"alpha"), Bytes::from(vec![7u8; 500]), 3, None)
+                .set(
+                    Bytes::from_static(b"alpha"),
+                    Bytes::from(vec![7u8; 500]),
+                    3,
+                    None,
+                )
                 .await
                 .unwrap();
             assert_eq!(s.status, OpStatus::Stored);
@@ -458,13 +483,21 @@ mod tests {
         sim.run_until(async move {
             let t0 = sim2.now();
             let h = client
-                .iset(Bytes::from_static(b"k"), Bytes::from(vec![1u8; 256 << 10]), 0, None)
+                .iset(
+                    Bytes::from_static(b"k"),
+                    Bytes::from(vec![1u8; 256 << 10]),
+                    0,
+                    None,
+                )
                 .await
                 .unwrap();
             let issue_time = sim2.now() - t0;
             // Issue cost is sub-microsecond-ish (descriptor post +
             // registration); far less than the 256 KiB transfer.
-            assert!(issue_time < Duration::from_millis(1), "issue took {issue_time:?}");
+            assert!(
+                issue_time < Duration::from_millis(1),
+                "issue took {issue_time:?}"
+            );
             assert!(!h.is_done(), "completion must be asynchronous");
             assert!(h.test().is_none());
             let c = h.wait().await;
@@ -482,14 +515,25 @@ mod tests {
             // Warm the registration cache so timing isolates the send wait.
             let value = Bytes::from(vec![1u8; 1 << 20]);
             let key = Bytes::from_static(b"warm");
-            client.iset(key.clone(), value.clone(), 0, None).await.unwrap().wait().await;
+            client
+                .iset(key.clone(), value.clone(), 0, None)
+                .await
+                .unwrap()
+                .wait()
+                .await;
 
             let t0 = sim2.now();
-            let h_i = client.iset(key.clone(), value.clone(), 0, None).await.unwrap();
+            let h_i = client
+                .iset(key.clone(), value.clone(), 0, None)
+                .await
+                .unwrap();
             let i_issue = sim2.now() - t0;
 
             let t1 = sim2.now();
-            let h_b = client.bset(key.clone(), value.clone(), 0, None).await.unwrap();
+            let h_b = client
+                .bset(key.clone(), value.clone(), 0, None)
+                .await
+                .unwrap();
             let b_issue = sim2.now() - t1;
 
             // bset must wait out the ~1MB serialization; iset must not.
@@ -513,7 +557,12 @@ mod tests {
             let mut handles = Vec::new();
             for i in 0..30 {
                 let key = Bytes::from(format!("bp{i:02}"));
-                handles.push(client.iset(key, Bytes::from(vec![1u8; 1024]), 0, None).await.unwrap());
+                handles.push(
+                    client
+                        .iset(key, Bytes::from(vec![1u8; 1024]), 0, None)
+                        .await
+                        .unwrap(),
+                );
             }
             let done = client.wait_all(&handles).await;
             assert_eq!(done.len(), 30);
@@ -531,7 +580,10 @@ mod tests {
         server.accept(server_side);
         let sim2 = sim.clone();
         sim.run_until(async move {
-            client_side.send(Bytes::from_static(&[255, 1, 2, 3])).await.unwrap();
+            client_side
+                .send(Bytes::from_static(&[255, 1, 2, 3]))
+                .await
+                .unwrap();
             sim2.sleep(Duration::from_millis(1)).await;
             assert_eq!(server.stats().proto_errors, 1);
             assert_eq!(server.stats().responses, 0);
@@ -563,7 +615,11 @@ mod tests {
         let fabric = Fabric::new(&sim, profiles::fdr_rdma());
         let server = Server::new(&sim, hybrid_pipelined_cfg(), {
             let dev = SsdDevice::new(&sim, instant_device());
-            Some(SlabIo::new(&sim, dev, SlabIoConfig::default_for_tests(HostModel::zero())))
+            Some(SlabIo::new(
+                &sim,
+                dev,
+                SlabIoConfig::default_for_tests(HostModel::zero()),
+            ))
         });
         let (client_side, server_side) = fabric.connect();
         server.accept(server_side);
@@ -572,7 +628,12 @@ mod tests {
             let mut handles = Vec::new();
             for i in 0..16 {
                 let h = client
-                    .iset(Bytes::from(format!("w{i}")), Bytes::from(vec![0u8; 64]), 0, None)
+                    .iset(
+                        Bytes::from(format!("w{i}")),
+                        Bytes::from(vec![0u8; 64]),
+                        0,
+                        None,
+                    )
                     .await
                     .unwrap();
                 assert!(client.outstanding() <= 4, "window must cap in-flight");

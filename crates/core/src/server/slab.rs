@@ -54,7 +54,13 @@ pub struct ParsedItem {
 /// Serialize an item into `dst` (which must be at least
 /// `ITEM_HEADER + key.len() + value.len()` long). Returns the stored
 /// length.
-pub fn write_item_bytes(dst: &mut [u8], key: &[u8], value: &[u8], flags: u32, expire_at_ns: u64) -> usize {
+pub fn write_item_bytes(
+    dst: &mut [u8],
+    key: &[u8],
+    value: &[u8],
+    flags: u32,
+    expire_at_ns: u64,
+) -> usize {
     dst[0..4].copy_from_slice(&(key.len() as u32).to_be_bytes());
     dst[4..8].copy_from_slice(&(value.len() as u32).to_be_bytes());
     dst[8..12].copy_from_slice(&flags.to_be_bytes());
@@ -78,9 +84,7 @@ pub fn parse_item_bytes(src: &[u8]) -> Option<ParsedItem> {
     }
     Some(ParsedItem {
         key: Bytes::copy_from_slice(&src[ITEM_HEADER..ITEM_HEADER + key_len]),
-        value: Bytes::copy_from_slice(
-            &src[ITEM_HEADER + key_len..ITEM_HEADER + key_len + val_len],
-        ),
+        value: Bytes::copy_from_slice(&src[ITEM_HEADER + key_len..ITEM_HEADER + key_len + val_len]),
         flags,
         expire_at_ns,
     })
@@ -177,9 +181,7 @@ impl SlabPool {
     /// The class whose chunks fit an item of `item_len` total bytes, or
     /// `None` if the item exceeds the page size.
     pub fn class_for(&self, item_len: usize) -> Option<usize> {
-        self.classes
-            .iter()
-            .position(|c| c.chunk_size >= item_len)
+        self.classes.iter().position(|c| c.chunk_size >= item_len)
     }
 
     /// Total stored length of an item (header + key + value).
@@ -230,7 +232,14 @@ impl SlabPool {
     }
 
     /// Store an item into an allocated chunk. Returns the stored length.
-    pub fn write_item(&mut self, id: u64, key: &[u8], value: &[u8], flags: u32, expire_at_ns: u64) -> usize {
+    pub fn write_item(
+        &mut self,
+        id: u64,
+        key: &[u8],
+        value: &[u8],
+        flags: u32,
+        expire_at_ns: u64,
+    ) -> usize {
         let (page, chunk) = unpack_item_id(id);
         let class = self.pages[page as usize].class;
         let chunk_size = self.classes[class].chunk_size;
@@ -238,7 +247,13 @@ impl SlabPool {
         assert!(stored <= chunk_size, "item does not fit chunk");
         let off = chunk as usize * chunk_size;
         let data = &mut self.pages[page as usize].data;
-        write_item_bytes(&mut data[off..off + stored], key, value, flags, expire_at_ns)
+        write_item_bytes(
+            &mut data[off..off + stored],
+            key,
+            value,
+            flags,
+            expire_at_ns,
+        )
     }
 
     /// Parse the item stored at `id`.
@@ -365,7 +380,9 @@ mod tests {
     #[test]
     fn classes_grow_geometrically_to_page_size() {
         let pool = SlabPool::new(SlabConfig::with_mem(4 << 20));
-        let sizes: Vec<usize> = (0..pool.num_classes()).map(|c| pool.chunk_size(c)).collect();
+        let sizes: Vec<usize> = (0..pool.num_classes())
+            .map(|c| pool.chunk_size(c))
+            .collect();
         assert_eq!(sizes[0], 96);
         assert_eq!(*sizes.last().unwrap(), 1 << 20);
         for w in sizes.windows(2) {

@@ -23,8 +23,8 @@ use nbkv_storesim::{IoScheme, LruMap, SlabIo};
 
 use crate::costs::CpuCosts;
 use crate::proto::{OpStatus, ServedFrom, SetMode, StageTimes};
-use crate::server::slab::{parse_item_bytes, SlabConfig, SlabPool, SlabStats};
 use crate::server::hashtable::HashTable;
+use crate::server::slab::{parse_item_bytes, SlabConfig, SlabPool, SlabStats, ITEM_HEADER};
 use crate::util::unpack_item_id;
 
 /// Memory-only or hybrid storage.
@@ -143,6 +143,12 @@ impl StoreConfig {
 struct ExtentInfo {
     len: u32,
     live: u32,
+    /// I/O scheme the extent was written with (needed to re-read it
+    /// during warm recovery).
+    scheme: IoScheme,
+    /// Chunk size of the slab class the page belonged to — the stride at
+    /// which recovery re-parses items out of the extent.
+    chunk_size: u32,
 }
 
 /// In-flight flush registry: extent base -> (length, buffered contents).
@@ -152,7 +158,11 @@ type InflightFlushes = Rc<RefCell<std::collections::HashMap<u64, (u32, Rc<Vec<u8
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Location {
     Ram(u64),
-    Ssd { scheme: IoScheme, offset: u64, len: u32 },
+    Ssd {
+        scheme: IoScheme,
+        offset: u64,
+        len: u32,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -230,6 +240,30 @@ pub struct StoreStats {
     pub ssd_reclaimed_bytes: u64,
     /// Sets that failed (no memory / too large).
     pub set_errors: u64,
+    /// Gets that failed on an SSD read error (e.g. injected device fault).
+    pub get_io_errors: u64,
+    /// Slab-page flushes whose SSD write failed (items dropped).
+    pub flush_errors: u64,
+    /// Simulated crashes (RAM state lost).
+    pub crashes: u64,
+    /// Items re-indexed from SSD extents during warm recovery.
+    pub recovered_items: u64,
+}
+
+/// Outcome of a warm recovery scan ([`HybridStore::recover`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Extents scanned from the extent directory.
+    pub extents_scanned: u64,
+    /// Distinct keys re-indexed from SSD.
+    pub items_recovered: u64,
+    /// Superseded duplicate copies skipped in favour of a newer extent.
+    pub duplicates_dropped: u64,
+    /// Extents that could not be read back (e.g. injected read errors);
+    /// their contents are lost and their space reclaimed.
+    pub read_errors: u64,
+    /// Bytes read from the device during the scan.
+    pub bytes_read: u64,
 }
 
 /// The storage engine shared by all server request handlers.
@@ -237,14 +271,14 @@ pub struct HybridStore {
     sim: Sim,
     cfg: StoreConfig,
     pool: RefCell<SlabPool>,
-    index: RefCell<HashTable<ItemMeta>>,
+    index: Rc<RefCell<HashTable<ItemMeta>>>,
     item_lru: RefCell<Vec<LruMap<u64, ()>>>,
     page_lru: RefCell<Vec<LruMap<u32, ()>>>,
     ssd: Option<Rc<SlabIo>>,
     ssd_bump: Cell<u64>,
     /// Live-item count per SSD extent (keyed by base offset); an extent
     /// whose count reaches zero is reclaimed for reuse.
-    ssd_extents: RefCell<std::collections::BTreeMap<u64, ExtentInfo>>,
+    ssd_extents: Rc<RefCell<std::collections::BTreeMap<u64, ExtentInfo>>>,
     /// Reclaimed extents ready for reuse by new flushes (shared with the
     /// async-flush completion tasks).
     ssd_free_shared: Rc<RefCell<Vec<(u64, u32)>>>,
@@ -274,12 +308,12 @@ impl HybridStore {
             sim: sim.clone(),
             cfg,
             pool: RefCell::new(pool),
-            index: RefCell::new(HashTable::new()),
+            index: Rc::new(RefCell::new(HashTable::new())),
             item_lru: RefCell::new((0..n_classes).map(|_| LruMap::new()).collect()),
             page_lru: RefCell::new((0..n_classes).map(|_| LruMap::new()).collect()),
             ssd,
             ssd_bump: Cell::new(0),
-            ssd_extents: RefCell::new(std::collections::BTreeMap::new()),
+            ssd_extents: Rc::new(RefCell::new(std::collections::BTreeMap::new())),
             ssd_free_shared: Rc::new(RefCell::new(Vec::new())),
             ssd_dead_pending: Rc::new(RefCell::new(std::collections::HashMap::new())),
             inflight_flushes: Rc::new(RefCell::new(std::collections::HashMap::new())),
@@ -326,13 +360,7 @@ impl HybridStore {
     }
 
     /// Store a key-value pair (`memcached_set` semantics).
-    pub async fn set(
-        &self,
-        key: Bytes,
-        value: Bytes,
-        flags: u32,
-        expire_at_ns: u64,
-    ) -> OpOutcome {
+    pub async fn set(&self, key: Bytes, value: Bytes, flags: u32, expire_at_ns: u64) -> OpOutcome {
         self.set_with_mode(SetMode::Set, key, value, flags, expire_at_ns)
             .await
     }
@@ -422,7 +450,8 @@ impl HybridStore {
         }
         stages.check_load_ns = self.ns_since(t_check);
 
-        self.store_item(key, value, flags, expire_at_ns, stages).await
+        self.store_item(key, value, flags, expire_at_ns, stages)
+            .await
     }
 
     /// The unconditional allocate+write+index path shared by every store
@@ -531,7 +560,7 @@ impl HybridStore {
         } else {
             parsed.wrapping_add(delta)
         };
-        stages.check_load_ns = self.ns_since(t0);
+        let check_load_ns = self.ns_since(t0);
         // Store conditionally on the version we read, retrying on a racing
         // writer — memcached's incr/decr are atomic.
         let mut out = Box::pin(self.set_with_mode(
@@ -546,6 +575,9 @@ impl HybridStore {
             // Lost a race: recompute against the current value.
             return Box::pin(self.counter(key, delta, negative)).await;
         }
+        // The store's stage breakdown starts at the CAS write; account the
+        // read-modify phase too.
+        out.stages.check_load_ns += check_load_ns;
         if out.status == OpStatus::Stored {
             out.counter = next;
         }
@@ -593,7 +625,11 @@ impl HybridStore {
                 self.charge(self.cfg.costs.memcpy(item.value.len())).await;
                 Some(item.value)
             }
-            Location::Ssd { scheme, offset, len } => {
+            Location::Ssd {
+                scheme,
+                offset,
+                len,
+            } => {
                 let raw = if let Some(buf) = self.read_inflight(offset, len as usize) {
                     self.stats.borrow_mut().inflight_hits += 1;
                     self.charge(self.cfg.costs.memcpy(len as usize)).await;
@@ -669,7 +705,11 @@ impl HybridStore {
                     stages,
                 }
             }
-            Location::Ssd { scheme, offset, len } => {
+            Location::Ssd {
+                scheme,
+                offset,
+                len,
+            } => {
                 let raw = if let Some(buf) = self.read_inflight(offset, len as usize) {
                     // The flush has not landed yet; serve from its buffer.
                     self.stats.borrow_mut().inflight_hits += 1;
@@ -681,7 +721,7 @@ impl HybridStore {
                         Ok(b) => b,
                         Err(_) => {
                             stages.check_load_ns = self.ns_since(t0);
-                            self.stats.borrow_mut().get_misses += 1;
+                            self.stats.borrow_mut().get_io_errors += 1;
                             return OpOutcome::status_only(OpStatus::Error, stages);
                         }
                     }
@@ -774,7 +814,9 @@ impl HybridStore {
     fn evict_items(&self, class: usize) -> bool {
         // Evict from this class if it has items; otherwise steal a whole
         // page from the class with the most pages.
-        let victim_id = self.item_lru.borrow_mut()[class].pop_lru().map(|(id, _)| id);
+        let victim_id = self.item_lru.borrow_mut()[class]
+            .pop_lru()
+            .map(|(id, _)| id);
         if let Some(id) = victim_id {
             if let Some(key) = self.pool.borrow().read_item(id).map(|i| i.key) {
                 self.index.borrow_mut().remove(&key);
@@ -857,7 +899,9 @@ impl HybridStore {
             let page_buf = pool.page_data(page).to_vec();
             let mut captured: Vec<(Bytes, u64, u64, u32)> = Vec::new();
             for id in pool.page_chunk_ids(page) {
-                let Some(item) = pool.read_item(id) else { continue };
+                let Some(item) = pool.read_item(id) else {
+                    continue;
+                };
                 let stored = pool.stored_len(id).unwrap_or(0) as u32;
                 let live = self
                     .index
@@ -903,7 +947,15 @@ impl HybridStore {
             self.inflight_flushes
                 .borrow_mut()
                 .insert(base, (buf.len() as u32, Rc::clone(&buf)));
-            self.retarget_and_release(&captured, class, page, scheme, base, chunk_size, buf.len() as u32);
+            self.retarget_and_release(
+                &captured,
+                class,
+                page,
+                scheme,
+                base,
+                chunk_size,
+                buf.len() as u32,
+            );
             self.stats.borrow_mut().async_flushes += 1;
 
             let ssd = Rc::clone(ssd);
@@ -911,20 +963,43 @@ impl HybridStore {
             let dead_pending = Rc::clone(&self.ssd_dead_pending);
             let free_extents = Rc::clone(&self.ssd_free_shared);
             let stats = Rc::clone(&self.stats);
+            let index = Rc::clone(&self.index);
+            let extents = Rc::clone(&self.ssd_extents);
             self.sim.spawn(async move {
-                // The extent was reserved within capacity, so the write
-                // cannot fail.
-                ssd.write(scheme, base, &buf)
-                    .await
-                    .expect("reserved extent write");
-                inflight.borrow_mut().remove(&base);
-                // If the extent died while in flight, it is now safe to
-                // reuse.
-                if let Some(len) = dead_pending.borrow_mut().remove(&base) {
-                    free_extents.borrow_mut().push((base, len));
-                    let mut st = stats.borrow_mut();
-                    st.ssd_reclaimed_extents += 1;
-                    st.ssd_reclaimed_bytes += len as u64;
+                match ssd.write(scheme, base, &buf).await {
+                    Ok(()) => {
+                        inflight.borrow_mut().remove(&base);
+                        // If the extent died while in flight, it is now
+                        // safe to reuse.
+                        if let Some(len) = dead_pending.borrow_mut().remove(&base) {
+                            free_extents.borrow_mut().push((base, len));
+                            let mut st = stats.borrow_mut();
+                            st.ssd_reclaimed_extents += 1;
+                            st.ssd_reclaimed_bytes += len as u64;
+                        }
+                    }
+                    Err(_) => {
+                        // Injected write failure: the buffered page never
+                        // landed. Drop every item still pointing into the
+                        // extent and return its space to the free list.
+                        inflight.borrow_mut().remove(&base);
+                        let mut dropped = 0u64;
+                        {
+                            let mut idx = index.borrow_mut();
+                            for (key, version, _, _) in &captured {
+                                if idx.get(key).is_some_and(|m| m.version == *version) {
+                                    idx.remove(key);
+                                    dropped += 1;
+                                }
+                            }
+                        }
+                        extents.borrow_mut().remove(&base);
+                        dead_pending.borrow_mut().remove(&base);
+                        free_extents.borrow_mut().push((base, buf.len() as u32));
+                        let mut st = stats.borrow_mut();
+                        st.flush_errors += 1;
+                        st.ssd_full_drops += dropped;
+                    }
                 }
             });
             return true;
@@ -932,6 +1007,7 @@ impl HybridStore {
 
         if ssd.write(scheme, base, &page_buf).await.is_err() {
             // Treat a failed flush like a full SSD: drop the items.
+            self.stats.borrow_mut().flush_errors += 1;
             for (key, _, id, _) in captured {
                 self.index.borrow_mut().remove(&key);
                 self.item_lru.borrow_mut()[class].remove(&id);
@@ -941,7 +1017,15 @@ impl HybridStore {
             return true;
         }
 
-        self.retarget_and_release(&captured, class, page, scheme, base, chunk_size, page_buf.len() as u32);
+        self.retarget_and_release(
+            &captured,
+            class,
+            page,
+            scheme,
+            base,
+            chunk_size,
+            page_buf.len() as u32,
+        );
         true
     }
 
@@ -976,7 +1060,7 @@ impl HybridStore {
             drop(index);
             self.item_lru.borrow_mut()[class].remove(id);
         }
-        self.register_extent(base, extent_len, live);
+        self.register_extent(base, extent_len, live, scheme, chunk_size as u32);
         self.pool.borrow_mut().release_page(page);
         self.stats.borrow_mut().flushed_pages += 1;
     }
@@ -1014,16 +1098,22 @@ impl HybridStore {
     }
 
     /// Register a flushed extent and its live-item count.
-    fn register_extent(&self, base: u64, len: u32, live: u32) {
+    fn register_extent(&self, base: u64, len: u32, live: u32, scheme: IoScheme, chunk_size: u32) {
         if live == 0 {
             // Nothing in the extent survived the flush races: reusable at
             // once (unless the write is still in flight).
             self.reclaim_extent(base, len);
             return;
         }
-        self.ssd_extents
-            .borrow_mut()
-            .insert(base, ExtentInfo { len, live });
+        self.ssd_extents.borrow_mut().insert(
+            base,
+            ExtentInfo {
+                len,
+                live,
+                scheme,
+                chunk_size,
+            },
+        );
     }
 
     /// Account one dead SSD item slot; reclaims its extent when the last
@@ -1063,6 +1153,110 @@ impl HybridStore {
         st.ssd_reclaimed_extents += 1;
         st.ssd_reclaimed_bytes += len as u64;
     }
+    /// Simulate a power-loss crash: every RAM structure (slab pool, hash
+    /// index, LRUs, in-flight flush buffers) is lost. SSD extents — and
+    /// the extent directory, which stands in for an on-device superblock —
+    /// survive. Call [`recover`](Self::recover) to rebuild the index.
+    pub fn crash(&self) {
+        let n_classes = self.pool.borrow().num_classes();
+        *self.pool.borrow_mut() = SlabPool::new(SlabConfig::with_mem(self.cfg.mem_bytes));
+        *self.index.borrow_mut() = HashTable::new();
+        *self.item_lru.borrow_mut() = (0..n_classes).map(|_| LruMap::new()).collect();
+        *self.page_lru.borrow_mut() = (0..n_classes).map(|_| LruMap::new()).collect();
+        self.inflight_flushes.borrow_mut().clear();
+        self.stats.borrow_mut().crashes += 1;
+    }
+
+    /// Warm recovery after [`crash`](Self::crash): re-read every surviving
+    /// SSD extent (charging full device read costs), re-parse its chunks,
+    /// and rebuild the hash index with each live item pointing at its SSD
+    /// location. Items that only ever lived in RAM are gone — that
+    /// asymmetry is the hybrid design's durability story. When the same
+    /// key shows up in several extents (a stale copy whose newer version
+    /// died with RAM), the copy from the highest extent base wins.
+    pub async fn recover(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let Some(ssd) = self.ssd.as_ref() else {
+            return report;
+        };
+        let now_ns = self.sim.now().as_nanos();
+        let extents: Vec<(u64, ExtentInfo)> = self
+            .ssd_extents
+            .borrow()
+            .iter()
+            .map(|(b, i)| (*b, *i))
+            .collect();
+        // key -> extent base it was recovered from, for live accounting
+        // when a later extent supersedes an earlier copy.
+        let mut recovered_from: std::collections::HashMap<Bytes, u64> =
+            std::collections::HashMap::new();
+        let mut live: std::collections::BTreeMap<u64, u32> =
+            extents.iter().map(|(b, _)| (*b, 0)).collect();
+        for (base, info) in &extents {
+            report.extents_scanned += 1;
+            let raw = match ssd.read(info.scheme, *base, info.len as usize).await {
+                Ok(raw) => raw,
+                Err(_) => {
+                    report.read_errors += 1;
+                    continue;
+                }
+            };
+            report.bytes_read += info.len as u64;
+            let stride = (info.chunk_size as usize).max(ITEM_HEADER);
+            for chunk_start in (0..raw.len()).step_by(stride) {
+                let end = raw.len().min(chunk_start + stride);
+                let Some(item) = parse_item_bytes(&raw[chunk_start..end]) else {
+                    continue;
+                };
+                if item.key.is_empty() {
+                    continue; // zeroed / never-written chunk
+                }
+                if item.expire_at_ns != 0 && now_ns >= item.expire_at_ns {
+                    continue;
+                }
+                let stored = (ITEM_HEADER + item.key.len() + item.value.len()) as u32;
+                let class = self.pool.borrow().class_for(stored as usize).unwrap_or(0) as u32;
+                let version = self.next_version.get();
+                self.next_version.set(version + 1);
+                let meta = ItemMeta {
+                    loc: Location::Ssd {
+                        scheme: info.scheme,
+                        offset: base + chunk_start as u64,
+                        len: stored,
+                    },
+                    class,
+                    version,
+                    expire_at_ns: item.expire_at_ns,
+                    flags: item.flags,
+                };
+                if let Some(prev_base) = recovered_from.insert(item.key.clone(), *base) {
+                    if let Some(l) = live.get_mut(&prev_base) {
+                        *l = l.saturating_sub(1);
+                    }
+                    report.duplicates_dropped += 1;
+                }
+                self.index.borrow_mut().insert(item.key.clone(), meta);
+                if let Some(l) = live.get_mut(base) {
+                    *l += 1;
+                }
+            }
+        }
+        report.items_recovered = recovered_from.len() as u64;
+        // Reconcile the extent directory with what actually came back:
+        // unreadable or fully-superseded extents are reclaimed.
+        for (base, info) in extents {
+            let n = live.get(&base).copied().unwrap_or(0);
+            if n == 0 {
+                self.ssd_extents.borrow_mut().remove(&base);
+                self.reclaim_extent(base, info.len);
+            } else if let Some(e) = self.ssd_extents.borrow_mut().get_mut(&base) {
+                e.live = n;
+            }
+        }
+        self.stats.borrow_mut().recovered_items += report.items_recovered;
+        report
+    }
+
     /// Promote an SSD item back to RAM if a chunk is free (no eviction).
     async fn maybe_promote(
         &self,
@@ -1092,9 +1286,13 @@ impl HybridStore {
             return;
         }
         let item_len = SlabPool::item_len(item.key.len(), item.value.len());
-        self.pool
-            .borrow_mut()
-            .write_item(id, &item.key, &item.value, meta.flags, meta.expire_at_ns);
+        self.pool.borrow_mut().write_item(
+            id,
+            &item.key,
+            &item.value,
+            meta.flags,
+            meta.expire_at_ns,
+        );
         self.charge(self.cfg.costs.memcpy(item_len)).await;
         let mut index = self.index.borrow_mut();
         if let Some(m) = index.get_mut(key) {
@@ -1130,7 +1328,11 @@ mod tests {
     fn make_store(sim: &Sim, mut cfg: StoreConfig, instant: bool) -> Rc<HybridStore> {
         cfg.costs = CpuCosts::zero();
         let ssd = if cfg.kind == StoreKind::Hybrid {
-            let dev_profile = if instant { instant_device() } else { sata_ssd() };
+            let dev_profile = if instant {
+                instant_device()
+            } else {
+                sata_ssd()
+            };
             let host = if instant {
                 HostModel::zero()
             } else {
@@ -1186,7 +1388,10 @@ mod tests {
         let store = make_store(&sim, StoreConfig::memory_only(2 << 20), true);
         sim.run_until(async move {
             for i in 0..60 {
-                assert_eq!(store.set(key(i), val(i, 64 << 10), 0, 0).await.status, OpStatus::Stored);
+                assert_eq!(
+                    store.set(key(i), val(i, 64 << 10), 0, 0).await.status,
+                    OpStatus::Stored
+                );
             }
             assert!(store.stats().evicted_items > 0);
             // Recently-set keys survive; the oldest were evicted.
@@ -1201,7 +1406,10 @@ mod tests {
         let store = make_store(&sim, StoreConfig::hybrid(2 << 20, 1 << 30), true);
         sim.run_until(async move {
             for i in 0..60 {
-                assert_eq!(store.set(key(i), val(i, 64 << 10), 0, 0).await.status, OpStatus::Stored);
+                assert_eq!(
+                    store.set(key(i), val(i, 64 << 10), 0, 0).await.status,
+                    OpStatus::Stored
+                );
             }
             assert!(store.stats().flushed_pages > 0);
             // Every key is still retrievable — high data retention.
@@ -1270,7 +1478,11 @@ mod tests {
             cfg.io_policy = policy;
             cfg.costs = CpuCosts::zero();
             let dev = SsdDevice::new(&sim, sata_ssd());
-            let ssd = SlabIo::new(&sim, dev, SlabIoConfig::default_for_tests(HostModel::default_host()));
+            let ssd = SlabIo::new(
+                &sim,
+                dev,
+                SlabIoConfig::default_for_tests(HostModel::default_host()),
+            );
             let store = HybridStore::new(&sim, cfg, Some(ssd));
             sim.run_until(async move {
                 for i in 0..120 {
@@ -1351,7 +1563,10 @@ mod tests {
         let store = make_store(&sim, cfg, true);
         sim.run_until(async move {
             for i in 0..120 {
-                assert_eq!(store.set(key(i), val(i, 64 << 10), 0, 0).await.status, OpStatus::Stored);
+                assert_eq!(
+                    store.set(key(i), val(i, 64 << 10), 0, 0).await.status,
+                    OpStatus::Stored
+                );
             }
             let st = store.stats();
             assert!(st.ssd_full_drops > 0, "{st:?}");
@@ -1428,7 +1643,6 @@ mod tests {
         });
     }
 
-
     // -- async-flush extension (paper Section VII future work) ------------
 
     #[test]
@@ -1476,11 +1690,7 @@ mod tests {
             let g = store.get(&key(0)).await;
             assert_eq!(g.status, OpStatus::Hit);
             assert_eq!(g.value.unwrap(), val(0, 64 << 10));
-            assert!(
-                store.stats().inflight_hits > 0,
-                "{:?}",
-                store.stats()
-            );
+            assert!(store.stats().inflight_hits > 0, "{:?}", store.stats());
         });
     }
 
@@ -1558,7 +1768,10 @@ mod tests {
                 assert_eq!(store.get(&key(i)).await.status, OpStatus::Hit, "key {i}");
             }
             let st = store.stats();
-            assert_eq!(st.ssd_full_drops, 0, "reclamation must prevent drops: {st:?}");
+            assert_eq!(
+                st.ssd_full_drops, 0,
+                "reclamation must prevent drops: {st:?}"
+            );
             assert!(st.ssd_reclaimed_extents > 0);
         });
     }
@@ -1583,7 +1796,7 @@ mod tests {
             }
             let before = store.stats().ssd_reclaimed_extents;
             sim2.sleep(Duration::from_secs(2)).await; // let writes land
-            // New churn can now reuse the reclaimed extents.
+                                                      // New churn can now reuse the reclaimed extents.
             for i in 0..40 {
                 store.set(key(100 + i), val(i, 64 << 10), 0, 0).await;
             }

@@ -1,10 +1,12 @@
 //! Property-based tests of the core data structures and wire protocol.
 
 use bytes::Bytes;
+use nbkv_core::client::Ring;
 use nbkv_core::proto::{ApiFlavor, OpStatus, Request, Response, ServedFrom, SetMode, StageTimes};
 use nbkv_core::server::hashtable::HashTable;
-use nbkv_core::server::slab::{parse_item_bytes, write_item_bytes, SlabConfig, SlabPool, ITEM_HEADER};
-use nbkv_core::client::Ring;
+use nbkv_core::server::slab::{
+    parse_item_bytes, write_item_bytes, SlabConfig, SlabPool, ITEM_HEADER,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -41,8 +43,14 @@ fn arb_mode() -> impl Strategy<Value = SetMode> {
 }
 
 fn arb_stages() -> impl Strategy<Value = StageTimes> {
-    (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), 0u8..3).prop_map(
-        |(a, b, c, d, sf)| StageTimes {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        0u8..3,
+    )
+        .prop_map(|(a, b, c, d, sf)| StageTimes {
             slab_alloc_ns: a as u64,
             check_load_ns: b as u64,
             cache_update_ns: c as u64,
@@ -52,8 +60,7 @@ fn arb_stages() -> impl Strategy<Value = StageTimes> {
                 1 => ServedFrom::Ssd,
                 _ => ServedFrom::None,
             },
-        },
-    )
+        })
 }
 
 proptest! {

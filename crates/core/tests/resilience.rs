@@ -1,0 +1,266 @@
+//! Integration tests of the fault-injection layer, the client resilience
+//! policy, and crash/warm-restart recovery.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use nbkv_core::cluster::{build_cluster, ChaosConfig, ClusterConfig, CrashEvent};
+use nbkv_core::designs::Design;
+use nbkv_core::proto::OpStatus;
+use nbkv_core::{ClientError, ResiliencePolicy};
+use nbkv_fabric::{FaultPlan, FaultStats};
+use nbkv_simrt::Sim;
+use nbkv_storesim::{SsdFaultPlan, SsdFaultStats};
+use proptest::prelude::*;
+
+fn key(i: usize) -> Bytes {
+    Bytes::from(format!("key-{i:05}"))
+}
+
+/// A `set` against an unresponsive server fails with `TimedOut` under the
+/// default policy — no manual `wait_timeout` needed anywhere.
+#[test]
+fn set_to_closed_server_times_out_by_default() {
+    let sim = Sim::new();
+    let cfg = ClusterConfig::new(Design::RdmaMem, 16 << 20);
+    let cluster = build_cluster(&sim, &cfg);
+    let client = Rc::clone(&cluster.clients[0]);
+    let server = Rc::clone(&cluster.servers[0]);
+    sim.run_until(async move {
+        server.close();
+        let err = client
+            .set(Bytes::from_static(b"k"), Bytes::from_static(b"v"), 0, None)
+            .await
+            .expect_err("closed server must not succeed");
+        assert_eq!(err, ClientError::TimedOut);
+        let stats = client.stats();
+        assert!(stats.timeouts >= 1, "timeouts counted: {stats:?}");
+        assert!(stats.retries >= 1, "retries counted: {stats:?}");
+        assert_eq!(client.outstanding(), 0, "timed-out attempts are reaped");
+    });
+}
+
+/// Regression test for the ReqHandle leak: a timed-out wait cancels the
+/// request, releasing its pending-table entry and window permit. With a
+/// tiny window, repeatedly timing out must never wedge the issue path.
+#[test]
+fn timed_out_handles_are_reaped() {
+    let sim = Sim::new();
+    let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, 16 << 20);
+    cfg.client.max_outstanding = 2;
+    let cluster = build_cluster(&sim, &cfg);
+    let client = Rc::clone(&cluster.clients[0]);
+    let server = Rc::clone(&cluster.servers[0]);
+    let sim2 = sim.clone();
+    sim.run_until(async move {
+        server.close();
+        for i in 0..6 {
+            // If a permit ever leaked, the third issue would block forever;
+            // the outer timeout turns that hang into a test failure.
+            let h = nbkv_simrt::timeout(
+                &sim2,
+                Duration::from_millis(50),
+                client.iset(key(i), Bytes::from_static(b"v"), 0, None),
+            )
+            .await
+            .expect("issue blocked on a leaked window permit")
+            .expect("issue failed");
+            let reaped = h.wait_timeout(Duration::from_millis(1)).await;
+            assert!(reaped.is_err(), "closed server cannot complete op {i}");
+            assert!(!h.cancel(), "wait_timeout already cancelled the request");
+            assert_eq!(
+                client.outstanding(),
+                0,
+                "pending table drained after op {i}"
+            );
+        }
+        let stats = client.stats();
+        assert_eq!(stats.issued, 6);
+        assert_eq!(stats.completed, 0);
+    });
+}
+
+/// Crash + warm restart rebuilds the RAM index from the SSD slabs: keys
+/// whose slabs were flushed come back, RAM-only keys are lost (clean
+/// misses, not errors).
+#[test]
+fn warm_restart_recovers_ssd_resident_items() {
+    let sim = Sim::new();
+    // 2 MiB of RAM, 4 MiB of data: roughly half the keys spill to SSD.
+    let mut cfg = ClusterConfig::new(Design::HRdmaOptBlock, 2 << 20);
+    cfg.ssd_capacity = 64 << 20;
+    let cluster = build_cluster(&sim, &cfg);
+    let client = Rc::clone(&cluster.clients[0]);
+    let server = Rc::clone(&cluster.servers[0]);
+    sim.run_until(async move {
+        let n = 1024;
+        for i in 0..n {
+            let c = client
+                .set(key(i), Bytes::from(vec![i as u8; 4096]), 0, None)
+                .await
+                .expect("preload set");
+            assert_eq!(c.status, OpStatus::Stored);
+        }
+        server.crash();
+        assert!(server.store().stats().crashes >= 1);
+        let report = server.restart().await;
+        assert!(
+            report.items_recovered > 0,
+            "some slabs were on SSD: {report:?}"
+        );
+        assert!(report.extents_scanned > 0);
+
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for i in 0..n {
+            let c = client.get(key(i)).await.expect("get after restart");
+            match c.status {
+                OpStatus::Hit => {
+                    hits += 1;
+                    assert_eq!(c.value.expect("hit carries value")[0], i as u8);
+                }
+                OpStatus::Miss => misses += 1,
+                s => panic!("unexpected status {s:?} for key {i}"),
+            }
+        }
+        assert_eq!(
+            hits, report.items_recovered,
+            "every recovered key is readable"
+        );
+        assert!(misses > 0, "RAM-only items are lost by a crash");
+    });
+}
+
+fn chaos_cluster_config(design: Design, seed: u64) -> ClusterConfig {
+    let ms = Duration::from_millis;
+    let mut cfg = ClusterConfig::new(design, 4 << 20);
+    cfg.servers = 2;
+    cfg.client.resilience = ResiliencePolicy {
+        deadline: Some(Duration::from_millis(2)),
+        backoff_base: Duration::from_micros(50),
+        backoff_cap: Duration::from_micros(500),
+        ..ResiliencePolicy::default()
+    };
+    cfg.chaos = ChaosConfig {
+        seed,
+        link_faults: Some(FaultPlan::drops(0, 0.01).with_down_window(ms(4), ms(6))),
+        ssd_faults: design.is_hybrid().then(|| SsdFaultPlan::errors(0, 0.005)),
+        crashes: vec![CrashEvent {
+            server: 0,
+            at: ms(8),
+            restart_at: Some(ms(10)),
+        }],
+    };
+    cfg
+}
+
+/// Run a fixed mixed workload under the chaos schedule and record every
+/// op's outcome *and* completion time. Completing at all proves no op
+/// hangs; the timestamps make the determinism check bit-exact.
+fn run_chaos(design: Design, seed: u64) -> (Vec<String>, FaultStats, SsdFaultStats) {
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &chaos_cluster_config(design, seed));
+    let client = Rc::clone(&cluster.clients[0]);
+    let sim2 = sim.clone();
+    let outcomes = sim.run_until(async move {
+        let mut out = Vec::with_capacity(300);
+        for i in 0..300usize {
+            let k = key(i % 64);
+            let r = match i % 5 {
+                // Exercise the non-blocking path and its bounded reap too.
+                0 => match client.iget(k).await {
+                    Ok(h) => h
+                        .wait_timeout(Duration::from_millis(2))
+                        .await
+                        .map(|c| format!("{:?}", c.status))
+                        .map_err(|_| ClientError::TimedOut),
+                    Err(e) => Err(e),
+                },
+                1 | 2 => client
+                    .set(k, Bytes::from(vec![i as u8; 512]), 0, None)
+                    .await
+                    .map(|c| format!("{:?}", c.status)),
+                _ => client.get(k).await.map(|c| format!("{:?}", c.status)),
+            };
+            let stamp = sim2.now().as_nanos();
+            out.push(match r {
+                Ok(s) => format!("{i}:{s}@{stamp}"),
+                Err(e) => format!("{i}:err({e})@{stamp}"),
+            });
+        }
+        out
+    });
+    let fabric = cluster.fabric_fault_stats();
+    let ssd = cluster.ssd_fault_stats();
+    sim.shutdown();
+    (outcomes, fabric, ssd)
+}
+
+/// The acceptance scenario: 1% drop, a scripted link-down window, and a
+/// server crash + warm restart. Two runs with the same seed must produce
+/// byte-identical fault counters and op outcomes, for every design, and
+/// every op must complete (no hangs).
+#[test]
+fn chaos_schedule_replays_identically_for_all_designs() {
+    for design in Design::ALL {
+        let a = run_chaos(design, 0xC4A0_5EED);
+        let b = run_chaos(design, 0xC4A0_5EED);
+        assert_eq!(a.1, b.1, "{design:?}: fabric fault stats diverged");
+        assert_eq!(a.2, b.2, "{design:?}: ssd fault stats diverged");
+        assert_eq!(a.0, b.0, "{design:?}: op outcomes diverged");
+        assert!(
+            a.1.total_lost() > 0,
+            "{design:?}: the schedule must actually lose messages ({:?})",
+            a.1
+        );
+        // A different seed perturbs the timeline.
+        let c = run_chaos(design, 0x0DD_5EED);
+        assert_ne!(a.0, c.0, "{design:?}: seed must matter");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Backoff schedules replay exactly for a (seed, salt) pair and every
+    /// delay stays within [min(base, cap), cap].
+    #[test]
+    fn backoff_replays_per_seed_and_stays_bounded(
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+        base_us in 1u64..1_000,
+        cap_us in 1u64..20_000,
+    ) {
+        let pol = ResiliencePolicy {
+            backoff_base: Duration::from_micros(base_us),
+            backoff_cap: Duration::from_micros(cap_us),
+            backoff_seed: seed,
+            ..ResiliencePolicy::default()
+        };
+        let mut a = pol.backoff(salt);
+        let mut b = pol.backoff(salt);
+        let lo = pol.backoff_base.min(pol.backoff_cap);
+        for _ in 0..16 {
+            let d = a.next_delay();
+            prop_assert_eq!(d, b.next_delay());
+            prop_assert!(d >= lo && d <= pol.backoff_cap, "delay {d:?} outside [{lo:?}, {:?}]", pol.backoff_cap);
+        }
+    }
+}
+
+proptest! {
+    // Each case is two full cluster runs; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full chaos scenario is a pure function of its seed: *any* seed
+    /// replays to byte-identical fault counters and op outcomes.
+    #[test]
+    fn chaos_replay_is_deterministic_for_any_seed(seed in any::<u64>()) {
+        let a = run_chaos(Design::HRdmaOptNonBI, seed);
+        let b = run_chaos(Design::HRdmaOptNonBI, seed);
+        prop_assert_eq!(&a.1, &b.1, "fabric fault stats diverged");
+        prop_assert_eq!(&a.2, &b.2, "ssd fault stats diverged");
+        prop_assert_eq!(&a.0, &b.0, "op outcomes diverged");
+    }
+}

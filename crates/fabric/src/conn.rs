@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use nbkv_simrt::{channel, Receiver, Sim};
 
+use crate::fault::{FaultPlan, FaultStats};
 use crate::latency::LatencyModel;
 use crate::link::{Disconnected, Link, SendTicket};
 
@@ -41,6 +42,16 @@ impl Conn {
     /// Clone the send half without consuming the connection.
     pub fn sender(&self) -> Link {
         self.tx.clone()
+    }
+
+    /// Attach (or clear) a fault plan on this endpoint's *outgoing* link.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        self.tx.set_fault_plan(plan);
+    }
+
+    /// Fault counters for this endpoint's outgoing link.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.tx.fault_stats()
     }
 }
 

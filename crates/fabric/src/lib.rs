@@ -31,6 +31,7 @@
 
 mod conn;
 pub mod fabric;
+mod fault;
 mod latency;
 mod link;
 mod mr;
@@ -40,8 +41,9 @@ pub mod verbs;
 
 pub use conn::{pair, Conn};
 pub use fabric::Fabric;
+pub use fault::{FaultPlan, FaultStats};
 pub use latency::LatencyModel;
-pub use link::{Disconnected, Link, LinkStats, SendTicket, FRAME_OVERHEAD};
+pub use link::{Disconnected, Link, LinkFaultHandle, LinkStats, SendTicket, FRAME_OVERHEAD};
 pub use mr::{MrCache, MrKey, MrStats};
 pub use profiles::FabricProfile;
 pub use transport::{transport_pair, Transport, TransportRx, TransportTx};

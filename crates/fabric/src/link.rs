@@ -15,13 +15,17 @@
 //! has sent out the header") and `memcached_test`-style send-completion
 //! semantics build on.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use nbkv_simrt::{Sender, Sim, SimTime, Sleep};
 
+use crate::fault::{
+    FaultPlan, FaultStats, SALT_DELAY, SALT_DELAY_AMT, SALT_DROP, SALT_REORDER, SALT_REORDER_AMT,
+};
 use crate::latency::LatencyModel;
 
 /// Fixed per-message framing overhead (headers, CRCs) added to every
@@ -57,6 +61,17 @@ struct LinkInner {
     /// Delivery-time floor: per-message jitter must not reorder a link's
     /// FIFO stream.
     last_deliver: Cell<SimTime>,
+    /// Optional injected-fault schedule (see [`FaultPlan`]).
+    fault_plan: RefCell<Option<FaultPlan>>,
+    faults: Cell<FaultStats>,
+}
+
+impl LinkInner {
+    fn bump_faults(&self, f: impl FnOnce(&mut FaultStats)) {
+        let mut stats = self.faults.get();
+        f(&mut stats);
+        self.faults.set(stats);
+    }
 }
 
 /// Sending half of a unidirectional link. Cheap to clone; clones share the
@@ -78,6 +93,8 @@ impl Link {
                 messages: Cell::new(0),
                 bytes: Cell::new(0),
                 last_deliver: Cell::new(SimTime::ZERO),
+                fault_plan: RefCell::new(None),
+                faults: Cell::new(FaultStats::default()),
             }),
             tx,
         }
@@ -85,7 +102,12 @@ impl Link {
 
     /// Post `payload` for transmission. Returns immediately with a ticket;
     /// the message is delivered to the peer at
-    /// `max(now, busy) + serialization + propagation`.
+    /// `max(now, busy) + serialization + propagation` — unless an attached
+    /// [`FaultPlan`] drops, delays, or reorders it.
+    ///
+    /// A faulted message still occupies the link for its serialization
+    /// time and still yields a ticket: local send completion says nothing
+    /// about delivery, exactly as on real hardware.
     pub fn send(&self, payload: Bytes) -> Result<SendTicket, Disconnected> {
         if !self.tx.is_open() {
             return Err(Disconnected);
@@ -95,26 +117,61 @@ impl Link {
         let start = now.max(self.inner.busy_until.get());
         let sent_at = start + self.inner.model.serialization(wire_len);
         let seq = self.inner.messages.get();
-        let deliver_at = (sent_at
-            + self.inner.model.propagation()
-            + self.inner.model.jitter_for(seq))
-        .max(self.inner.last_deliver.get());
-        self.inner.last_deliver.set(deliver_at);
         self.inner.busy_until.set(sent_at);
         self.inner.messages.set(seq + 1);
-        self.inner.bytes.set(self.inner.bytes.get() + payload.len() as u64);
+        self.inner
+            .bytes
+            .set(self.inner.bytes.get() + payload.len() as u64);
 
-        let tx = self.tx.clone();
-        self.sim.schedule_at(deliver_at, move |_| {
-            // The peer may have shut down mid-flight; drop silently, like a
-            // real network.
-            let _ = tx.send_now(payload);
-        });
-
-        Ok(SendTicket {
+        let ticket = SendTicket {
             sim: self.sim.clone(),
             sent_at,
-        })
+        };
+
+        // Injected faults: every decision is a pure hash of (seed, seq),
+        // so the outcome is independent of wall-clock and replayable.
+        let mut extra = Duration::ZERO;
+        let mut keep_fifo = true;
+        if let Some(plan) = self.inner.fault_plan.borrow().as_ref() {
+            if plan.is_down_at(start) {
+                self.inner.bump_faults(|f| f.down_dropped += 1);
+                return Ok(ticket);
+            }
+            if plan.drop_prob > 0.0 && plan.roll(seq, SALT_DROP) < plan.drop_prob {
+                self.inner.bump_faults(|f| f.dropped += 1);
+                return Ok(ticket);
+            }
+            if plan.delay_prob > 0.0 && plan.roll(seq, SALT_DELAY) < plan.delay_prob {
+                extra += plan.scaled_delay(seq, SALT_DELAY_AMT, plan.extra_delay);
+                self.inner.bump_faults(|f| f.delayed += 1);
+            }
+            if plan.reorder_prob > 0.0 && plan.roll(seq, SALT_REORDER) < plan.reorder_prob {
+                extra += plan.scaled_delay(seq, SALT_REORDER_AMT, plan.reorder_delay);
+                keep_fifo = false;
+                self.inner.bump_faults(|f| f.reordered += 1);
+            }
+        }
+
+        let mut deliver_at =
+            sent_at + self.inner.model.propagation() + self.inner.model.jitter_for(seq) + extra;
+        if keep_fifo {
+            // Reordered messages escape the FIFO floor and leave it where
+            // it was, so later traffic may legitimately overtake them.
+            deliver_at = deliver_at.max(self.inner.last_deliver.get());
+            self.inner.last_deliver.set(deliver_at);
+        }
+
+        let tx = self.tx.clone();
+        let inner = Rc::clone(&self.inner);
+        self.sim.schedule_at(deliver_at, move |_| {
+            // The peer may have shut down mid-flight; the message vanishes
+            // like on a real network, but the loss is counted.
+            if tx.send_now(payload).is_err() {
+                inner.bump_faults(|f| f.receiver_gone += 1);
+            }
+        });
+
+        Ok(ticket)
     }
 
     /// Counters for this link.
@@ -130,9 +187,70 @@ impl Link {
         self.inner.model
     }
 
+    /// Attach (or clear, with `None`) a fault-injection schedule. Affects
+    /// every clone of this link; already-scheduled deliveries are not
+    /// revisited.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.fault_plan.borrow_mut() = plan;
+    }
+
+    /// The currently attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.fault_plan.borrow().clone()
+    }
+
+    /// Counters for injected and observed faults on this link, including
+    /// messages discarded because the receiver was gone.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.faults.get()
+    }
+
     /// True while the peer's receiver is alive.
     pub fn is_open(&self) -> bool {
         self.tx.is_open()
+    }
+
+    /// A fault-plan / counter handle that does **not** keep the
+    /// connection alive: unlike a `Link` clone it holds no send half, so
+    /// the peer still observes the close when every sender is dropped.
+    /// Use it to keep reading (or injecting) faults after the endpoints
+    /// are gone.
+    pub fn fault_handle(&self) -> LinkFaultHandle {
+        LinkFaultHandle {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+/// Fault accounting/injection handle for one link direction; see
+/// [`Link::fault_handle`].
+#[derive(Clone)]
+pub struct LinkFaultHandle {
+    inner: Rc<LinkInner>,
+}
+
+impl LinkFaultHandle {
+    /// Attach (or clear) a fault-injection schedule on the link.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.fault_plan.borrow_mut() = plan;
+    }
+
+    /// The currently attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.fault_plan.borrow().clone()
+    }
+
+    /// Counters for injected and observed faults on the link.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.faults.get()
+    }
+
+    /// Traffic counters for the link.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            messages: self.inner.messages.get(),
+            bytes: self.inner.bytes.get(),
+        }
     }
 }
 
@@ -266,7 +384,11 @@ mod tests {
             let link = Link::new(sim2.clone(), test_model(), tx);
             link.send(Bytes::from_static(b"doomed")).unwrap();
             drop(rx);
+            assert_eq!(link.fault_stats().receiver_gone, 0, "not yet delivered");
             sim2.sleep(Duration::from_millis(1)).await; // delivery fires, no panic
+                                                        // The discard is silent to the sender but not unaccounted.
+            assert_eq!(link.fault_stats().receiver_gone, 1);
+            assert_eq!(link.fault_stats().total_lost(), 1);
         });
     }
 
@@ -279,7 +401,13 @@ mod tests {
             let link = Link::new(sim2.clone(), LatencyModel::zero(), tx);
             link.send(Bytes::from(vec![0u8; 100])).unwrap();
             link.send(Bytes::from(vec![0u8; 200])).unwrap();
-            assert_eq!(link.stats(), LinkStats { messages: 2, bytes: 300 });
+            assert_eq!(
+                link.stats(),
+                LinkStats {
+                    messages: 2,
+                    bytes: 300
+                }
+            );
         });
     }
 
@@ -297,6 +425,163 @@ mod tests {
             t.wait_sent().await;
             assert!(t.is_sent());
             assert_eq!(sim2.now().as_nanos(), 5_000);
+        });
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use nbkv_simrt::channel;
+    use std::time::Duration;
+
+    fn test_model() -> LatencyModel {
+        LatencyModel::from_bandwidth_gbps(Duration::from_micros(1), 1.0)
+    }
+
+    #[test]
+    fn drop_prob_one_loses_everything_and_counts() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (tx, rx) = channel::<Bytes>();
+            let link = Link::new(sim2.clone(), test_model(), tx);
+            link.set_fault_plan(Some(FaultPlan::drops(1, 1.0)));
+            for i in 0..10u8 {
+                link.send(Bytes::from(vec![i; 8])).unwrap();
+            }
+            sim2.sleep(Duration::from_millis(1)).await;
+            assert!(rx.try_recv().is_err(), "all messages should be dropped");
+            let stats = link.fault_stats();
+            assert_eq!(stats.dropped, 10);
+            assert_eq!(stats.total_lost(), 10);
+        });
+    }
+
+    #[test]
+    fn partial_drops_are_deterministic_per_seed() {
+        let survivors = |seed: u64| {
+            let sim = Sim::new();
+            let sim2 = sim.clone();
+            sim.run_until(async move {
+                let (tx, rx) = channel::<Bytes>();
+                let link = Link::new(sim2.clone(), test_model(), tx);
+                link.set_fault_plan(Some(FaultPlan::drops(seed, 0.5)));
+                for i in 0..100u8 {
+                    link.send(Bytes::from(vec![i; 8])).unwrap();
+                }
+                sim2.sleep(Duration::from_millis(10)).await;
+                let mut got = Vec::new();
+                while let Ok(msg) = rx.try_recv() {
+                    got.push(msg[0]);
+                }
+                (got, link.fault_stats())
+            })
+        };
+        let (a, sa) = survivors(7);
+        let (b, sb) = survivors(7);
+        assert_eq!(a, b, "same seed, same survivors");
+        assert_eq!(sa, sb);
+        assert!(sa.dropped > 10 && sa.dropped < 90, "p=0.5: {}", sa.dropped);
+        let (c, _) = survivors(8);
+        assert_ne!(a, c, "different seed, different survivors");
+    }
+
+    #[test]
+    fn down_window_drops_only_inside_window() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (tx, rx) = channel::<Bytes>();
+            let link = Link::new(sim2.clone(), test_model(), tx);
+            link.set_fault_plan(Some(
+                FaultPlan::default()
+                    .with_down_window(Duration::from_micros(50), Duration::from_micros(150)),
+            ));
+            // One message before, one inside, one after the window.
+            link.send(Bytes::from_static(b"before")).unwrap();
+            sim2.sleep(Duration::from_micros(100)).await;
+            link.send(Bytes::from_static(b"inside")).unwrap();
+            sim2.sleep(Duration::from_micros(100)).await;
+            link.send(Bytes::from_static(b"after")).unwrap();
+            sim2.sleep(Duration::from_millis(1)).await;
+            assert_eq!(&rx.try_recv().unwrap()[..], b"before");
+            assert_eq!(&rx.try_recv().unwrap()[..], b"after");
+            assert!(rx.try_recv().is_err());
+            assert_eq!(link.fault_stats().down_dropped, 1);
+        });
+    }
+
+    #[test]
+    fn extra_delay_defers_but_delivers() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (tx, rx) = channel::<Bytes>();
+            let link = Link::new(sim2.clone(), test_model(), tx);
+            link.set_fault_plan(Some(FaultPlan {
+                seed: 3,
+                delay_prob: 1.0,
+                extra_delay: Duration::from_millis(1),
+                ..FaultPlan::default()
+            }));
+            link.send(Bytes::from_static(b"slow")).unwrap();
+            let msg = rx.recv().await.unwrap();
+            assert_eq!(&msg[..], b"slow");
+            // Baseline arrival would be ~2us; the injected delay dominates.
+            assert!(sim2.now() > SimTime::from_nanos(2_000));
+            assert!(sim2.now() <= SimTime::from_nanos(2_000 + 1_000_000));
+            assert_eq!(link.fault_stats().delayed, 1);
+        });
+    }
+
+    #[test]
+    fn reordered_message_can_arrive_late() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (tx, rx) = channel::<Bytes>();
+            let link = Link::new(sim2.clone(), test_model(), tx);
+            // Force reorder on every message with a huge reorder delay so
+            // at least one pair inverts.
+            link.set_fault_plan(Some(FaultPlan {
+                seed: 11,
+                reorder_prob: 0.5,
+                reorder_delay: Duration::from_micros(500),
+                ..FaultPlan::default()
+            }));
+            for i in 0..50u8 {
+                link.send(Bytes::from(vec![i; 8])).unwrap();
+            }
+            sim2.sleep(Duration::from_millis(5)).await;
+            let mut got = Vec::new();
+            while let Ok(msg) = rx.try_recv() {
+                got.push(msg[0]);
+            }
+            assert_eq!(got.len(), 50, "reorder must not lose messages");
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            assert_ne!(got, sorted, "expected at least one inversion");
+            assert!(link.fault_stats().reordered > 0);
+        });
+    }
+
+    #[test]
+    fn clearing_the_plan_restores_reliability() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (tx, rx) = channel::<Bytes>();
+            let link = Link::new(sim2.clone(), test_model(), tx);
+            link.set_fault_plan(Some(FaultPlan::drops(5, 1.0)));
+            link.send(Bytes::from_static(b"lost")).unwrap();
+            assert!(link.fault_plan().is_some());
+            link.set_fault_plan(None);
+            link.send(Bytes::from_static(b"kept")).unwrap();
+            sim2.sleep(Duration::from_millis(1)).await;
+            assert_eq!(&rx.try_recv().unwrap()[..], b"kept");
+            assert!(rx.try_recv().is_err());
+            assert_eq!(link.fault_stats().dropped, 1);
         });
     }
 }

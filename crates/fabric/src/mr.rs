@@ -150,7 +150,14 @@ mod tests {
             let k2 = cache.ensure_registered(&buf).await;
             assert_eq!(k1, k2);
             assert_eq!(sim2.now(), after_first, "hit must be free");
-            assert_eq!(cache.stats(), MrStats { hits: 1, misses: 1, registered_bytes: 4096 });
+            assert_eq!(
+                cache.stats(),
+                MrStats {
+                    hits: 1,
+                    misses: 1,
+                    registered_bytes: 4096
+                }
+            );
         });
     }
 
@@ -197,7 +204,14 @@ mod tests {
             let ka = cache.ensure_registered(&a).await;
             let kb = cache.ensure_registered(&b).await;
             assert_eq!(ka, kb);
-            assert_eq!(cache.stats(), MrStats { hits: 1, misses: 1, registered_bytes: 256 });
+            assert_eq!(
+                cache.stats(),
+                MrStats {
+                    hits: 1,
+                    misses: 1,
+                    registered_bytes: 256
+                }
+            );
         });
     }
 

@@ -120,7 +120,10 @@ mod tests {
         let r = fdr_rdma().link.one_way(64);
         let i = ipoib().link.one_way(64);
         let ratio = i.as_nanos() as f64 / r.as_nanos() as f64;
-        assert!(ratio > 8.0, "RDMA should be ~10x IPoIB for 64B, got {ratio:.1}x");
+        assert!(
+            ratio > 8.0,
+            "RDMA should be ~10x IPoIB for 64B, got {ratio:.1}x"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use bytes::Bytes;
 use nbkv_simrt::{Receiver, Sim};
 
 use crate::conn::{pair, Conn};
+use crate::fault::{FaultPlan, FaultStats};
 use crate::link::{Disconnected, Link, SendTicket};
 use crate::profiles::FabricProfile;
 
@@ -88,6 +89,22 @@ impl Transport {
     pub fn profile(&self) -> &FabricProfile {
         &self.profile
     }
+
+    /// Clone the outgoing link handle (e.g. to keep reading
+    /// [`Link::stats`]/fault counters after the transport is consumed).
+    pub fn sender_link(&self) -> Link {
+        self.conn.sender()
+    }
+
+    /// Attach (or clear) a fault plan on the outgoing link.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        self.conn.set_fault_plan(plan);
+    }
+
+    /// Fault counters for the outgoing link.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.conn.fault_stats()
+    }
 }
 
 impl TransportTx {
@@ -104,6 +121,16 @@ impl TransportTx {
     /// True while the peer is alive.
     pub fn is_open(&self) -> bool {
         self.link.is_open()
+    }
+
+    /// Attach (or clear) a fault plan on the outgoing link.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        self.link.set_fault_plan(plan);
+    }
+
+    /// Fault counters for the outgoing link.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.link.fault_stats()
     }
 }
 

@@ -175,7 +175,12 @@ impl QueuePair {
 
     /// Post a send WR. If `signaled`, a `Send` completion lands on the send
     /// CQ when the NIC finishes reading the buffer.
-    pub fn post_send(&self, wr_id: u64, payload: Bytes, signaled: bool) -> Result<(), Disconnected> {
+    pub fn post_send(
+        &self,
+        wr_id: u64,
+        payload: Bytes,
+        signaled: bool,
+    ) -> Result<(), Disconnected> {
         let len = payload.len();
         let ticket = self.tx.send(payload)?;
         if signaled {
@@ -270,10 +275,8 @@ impl QueuePair {
         }
         let model = self.tx.model();
         // Request goes out (tiny), data comes back (len bytes).
-        let done_at = self.sim.now()
-            + model.propagation()
-            + model.serialization(len)
-            + model.propagation();
+        let done_at =
+            self.sim.now() + model.propagation() + model.serialization(len) + model.propagation();
         let cq = self.send_cq.clone();
         self.sim.schedule_at(done_at, move |sim| {
             let data = window.peek(remote_offset, len);
@@ -314,7 +317,8 @@ mod tests {
         let sim2 = sim.clone();
         sim.run_until(async move {
             let (qp_a, _qp_b) = QueuePair::connect(&sim2, model());
-            qp_a.post_send(7, Bytes::from(vec![0u8; 952]), true).unwrap();
+            qp_a.post_send(7, Bytes::from(vec![0u8; 952]), true)
+                .unwrap();
             assert!(qp_a.send_cq().is_empty());
             sim2.sleep(Duration::from_micros(1)).await; // 1000B wire = 1us
             let wcs = qp_a.send_cq().poll(16);
@@ -343,7 +347,8 @@ mod tests {
         sim.run_until(async move {
             let (qp_a, qp_b) = QueuePair::connect(&sim2, model());
             qp_b.post_recv(42);
-            qp_a.post_send(1, Bytes::from_static(b"hello"), false).unwrap();
+            qp_a.post_send(1, Bytes::from_static(b"hello"), false)
+                .unwrap();
             sim2.sleep(Duration::from_micros(10)).await;
             let wcs = qp_b.recv_cq().poll(16);
             assert_eq!(wcs.len(), 1);
@@ -358,7 +363,8 @@ mod tests {
         let sim2 = sim.clone();
         sim.run_until(async move {
             let (qp_a, qp_b) = QueuePair::connect(&sim2, model());
-            qp_a.post_send(1, Bytes::from_static(b"early"), false).unwrap();
+            qp_a.post_send(1, Bytes::from_static(b"early"), false)
+                .unwrap();
             sim2.sleep(Duration::from_micros(10)).await;
             assert!(qp_b.recv_cq().is_empty());
             qp_b.post_recv(9);
@@ -378,7 +384,8 @@ mod tests {
                 qp_b.post_recv(i);
             }
             for i in 0..5u8 {
-                qp_a.post_send(i as u64, Bytes::from(vec![i; 4]), false).unwrap();
+                qp_a.post_send(i as u64, Bytes::from(vec![i; 4]), false)
+                    .unwrap();
             }
             sim2.sleep(Duration::from_millis(1)).await;
             let wcs = qp_b.recv_cq().poll(16);

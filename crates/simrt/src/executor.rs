@@ -493,8 +493,10 @@ mod tests {
             let log = Rc::clone(&log);
             sim.spawn(async move {
                 for step in 0..3u32 {
-                    sim2.sleep(Duration::from_micros(10 * (id as u64 + 1))).await;
-                    log.borrow_mut().push((sim2.now().as_nanos() / 1_000, id * 10 + step));
+                    sim2.sleep(Duration::from_micros(10 * (id as u64 + 1)))
+                        .await;
+                    log.borrow_mut()
+                        .push((sim2.now().as_nanos() / 1_000, id * 10 + step));
                 }
             });
         }

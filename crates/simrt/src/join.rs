@@ -136,7 +136,8 @@ mod tests {
     #[test]
     fn join_all_empty() {
         let sim = Sim::new();
-        let out: Vec<u32> = sim.run_until(async { join_all(Vec::<std::future::Ready<u32>>::new()).await });
+        let out: Vec<u32> =
+            sim.run_until(async { join_all(Vec::<std::future::Ready<u32>>::new()).await });
         assert!(out.is_empty());
     }
 

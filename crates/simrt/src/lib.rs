@@ -55,7 +55,9 @@ mod time;
 mod timer;
 mod timeutil;
 
-pub use channel::{bounded, channel, Receiver, RecvFuture, SendError, SendFuture, Sender, TryRecvError};
+pub use channel::{
+    bounded, channel, Receiver, RecvFuture, SendError, SendFuture, Sender, TryRecvError,
+};
 pub use executor::{Sim, SimStats};
 pub use join::{join_all, yield_now, YieldNow};
 pub use sync::{oneshot, Acquire, Notified, Notify, OnceReceiver, OnceSender, Permit, Semaphore};

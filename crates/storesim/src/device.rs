@@ -14,6 +14,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use nbkv_simrt::{Sim, SimTime};
 
+use crate::fault::{IoOp, SsdFaultPlan, SsdFaultStats, SALT_ERROR, SALT_STALL};
 use crate::profile::DeviceProfile;
 
 /// Sparse-extent granularity of the in-RAM backing store.
@@ -29,13 +30,29 @@ pub enum DeviceError {
         /// Device capacity.
         capacity: u64,
     },
+    /// A fault-injection plan failed this command (see
+    /// [`SsdFaultPlan`]). For writes, nothing was persisted.
+    Injected {
+        /// Which command class failed.
+        op: IoOp,
+    },
 }
 
 impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeviceError::OutOfCapacity { end, capacity } => {
-                write!(f, "access to offset {end} exceeds device capacity {capacity}")
+                write!(
+                    f,
+                    "access to offset {end} exceeds device capacity {capacity}"
+                )
+            }
+            DeviceError::Injected { op } => {
+                let what = match op {
+                    IoOp::Read => "read",
+                    IoOp::Write => "write",
+                };
+                write!(f, "injected {what} error")
             }
         }
     }
@@ -72,6 +89,18 @@ pub struct SsdDevice {
     /// Bytes written since the last GC stall.
     gc_accumulator: Cell<u64>,
     gc_stalls: Cell<u64>,
+    /// Optional injected-fault schedule (see [`SsdFaultPlan`]).
+    fault_plan: RefCell<Option<SsdFaultPlan>>,
+    /// Per-command sequence for deterministic fault rolls.
+    fault_seq: Cell<u64>,
+    faults: Cell<SsdFaultStats>,
+}
+
+/// Outcome of rolling the fault plan for one command.
+#[derive(Default)]
+struct CommandFault {
+    stall: std::time::Duration,
+    error: bool,
 }
 
 impl SsdDevice {
@@ -89,7 +118,57 @@ impl SsdDevice {
             bytes_written: Cell::new(0),
             gc_accumulator: Cell::new(0),
             gc_stalls: Cell::new(0),
+            fault_plan: RefCell::new(None),
+            fault_seq: Cell::new(0),
+            faults: Cell::new(SsdFaultStats::default()),
         })
+    }
+
+    /// Attach (or clear, with `None`) a fault-injection schedule.
+    pub fn set_fault_plan(&self, plan: Option<SsdFaultPlan>) {
+        *self.fault_plan.borrow_mut() = plan;
+    }
+
+    /// The currently attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<SsdFaultPlan> {
+        self.fault_plan.borrow().clone()
+    }
+
+    /// Counters for injected device faults.
+    pub fn fault_stats(&self) -> SsdFaultStats {
+        self.faults.get()
+    }
+
+    /// Roll the fault plan for the next command of class `op`.
+    fn roll_fault(&self, op: IoOp) -> CommandFault {
+        let seq = self.fault_seq.get();
+        self.fault_seq.set(seq + 1);
+        let plan = self.fault_plan.borrow();
+        let Some(plan) = plan.as_ref() else {
+            return CommandFault::default();
+        };
+        let mut fault = CommandFault::default();
+        let mut stats = self.faults.get();
+        if plan.in_stall_window(self.sim.now()) {
+            fault.stall = plan.stall;
+            stats.stalled += 1;
+        } else if plan.stall_prob > 0.0 && plan.roll(seq, SALT_STALL) < plan.stall_prob {
+            fault.stall = plan.scaled_stall(seq);
+            stats.stalled += 1;
+        }
+        let error_prob = match op {
+            IoOp::Read => plan.read_error_prob,
+            IoOp::Write => plan.write_error_prob,
+        };
+        if error_prob > 0.0 && plan.roll(seq, SALT_ERROR) < error_prob {
+            fault.error = true;
+            match op {
+                IoOp::Read => stats.read_errors += 1,
+                IoOp::Write => stats.write_errors += 1,
+            }
+        }
+        self.faults.set(stats);
+        fault
     }
 
     /// The device profile.
@@ -112,9 +191,14 @@ impl SsdDevice {
     /// Unwritten regions read as zeros.
     pub async fn read(&self, offset: u64, len: usize) -> Result<Bytes, DeviceError> {
         self.check_range(offset, len)?;
-        self.service(self.profile.read_cost(len)).await;
+        let fault = self.roll_fault(IoOp::Read);
+        self.service(self.profile.read_cost(len) + fault.stall)
+            .await;
         self.reads.set(self.reads.get() + 1);
         self.bytes_read.set(self.bytes_read.get() + len as u64);
+        if fault.error {
+            return Err(DeviceError::Injected { op: IoOp::Read });
+        }
         Ok(self.copy_out(offset, len))
     }
 
@@ -140,6 +224,8 @@ impl SsdDevice {
         mut cost: std::time::Duration,
     ) -> Result<(), DeviceError> {
         self.check_range(offset, data.len())?;
+        let fault = self.roll_fault(IoOp::Write);
+        cost += fault.stall;
         // Flash GC: after every gc_window_bytes written, one command pays
         // the reclamation stall.
         if self.profile.gc_window_bytes > 0 {
@@ -156,6 +242,10 @@ impl SsdDevice {
         self.writes.set(self.writes.get() + 1);
         self.bytes_written
             .set(self.bytes_written.get() + data.len() as u64);
+        if fault.error {
+            // The command occupied the device but persisted nothing.
+            return Err(DeviceError::Injected { op: IoOp::Write });
+        }
         self.copy_in(offset, data);
         Ok(())
     }
@@ -379,6 +469,107 @@ mod tests {
             dev.write(off, &data).await.unwrap();
             let got = dev.read(off, data.len()).await.unwrap();
             assert_eq!(&got[..], &data[..]);
+        });
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::profile::instant_device;
+    use std::time::Duration;
+
+    #[test]
+    fn injected_write_error_persists_nothing() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, instant_device());
+            dev.set_fault_plan(Some(SsdFaultPlan {
+                seed: 1,
+                write_error_prob: 1.0,
+                ..SsdFaultPlan::default()
+            }));
+            let err = dev.write(0, &[7u8; 64]).await.unwrap_err();
+            assert_eq!(err, DeviceError::Injected { op: IoOp::Write });
+            dev.set_fault_plan(None);
+            let got = dev.read(0, 64).await.unwrap();
+            assert_eq!(&got[..], &[0u8; 64], "failed write must not persist");
+            assert_eq!(dev.fault_stats().write_errors, 1);
+        });
+    }
+
+    #[test]
+    fn injected_read_error_counts_and_replays() {
+        let run = || {
+            let sim = Sim::new();
+            let sim2 = sim.clone();
+            sim.run_until(async move {
+                let dev = SsdDevice::new(&sim2, instant_device());
+                dev.set_fault_plan(Some(SsdFaultPlan {
+                    seed: 42,
+                    read_error_prob: 0.5,
+                    ..SsdFaultPlan::default()
+                }));
+                let mut outcomes = Vec::new();
+                for _ in 0..50 {
+                    outcomes.push(dev.read(0, 512).await.is_ok());
+                }
+                (outcomes, dev.fault_stats())
+            })
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b, "same seed, same error pattern");
+        assert_eq!(sa, sb);
+        assert!(sa.read_errors > 5 && sa.read_errors < 45);
+    }
+
+    #[test]
+    fn stall_window_stretches_service_time() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, instant_device());
+            dev.set_fault_plan(Some(
+                SsdFaultPlan {
+                    seed: 2,
+                    stall: Duration::from_millis(3),
+                    ..SsdFaultPlan::default()
+                }
+                .with_stall_window(Duration::ZERO, Duration::from_millis(1)),
+            ));
+            // Inside the window: full stall on an otherwise-instant device.
+            dev.read(0, 512).await.unwrap();
+            assert_eq!(sim2.now().since_start(), Duration::from_millis(3));
+            assert_eq!(dev.fault_stats().stalled, 1);
+            // Past the window: no stall.
+            let before = sim2.now();
+            dev.read(0, 512).await.unwrap();
+            assert_eq!(sim2.now(), before);
+            assert_eq!(dev.fault_stats().stalled, 1);
+        });
+    }
+
+    #[test]
+    fn random_stalls_are_bounded_by_max() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let dev = SsdDevice::new(&sim2, instant_device());
+            let max = Duration::from_micros(200);
+            dev.set_fault_plan(Some(SsdFaultPlan {
+                seed: 3,
+                stall_prob: 1.0,
+                stall: max,
+                ..SsdFaultPlan::default()
+            }));
+            for _ in 0..20 {
+                let t0 = sim2.now();
+                dev.read(0, 512).await.unwrap();
+                assert!(sim2.now() - t0 <= max);
+            }
+            assert_eq!(dev.fault_stats().stalled, 20);
         });
     }
 }

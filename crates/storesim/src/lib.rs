@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod fault;
 pub mod lru;
 pub mod mmapio;
 pub mod pagecache;
@@ -27,6 +28,7 @@ pub mod profile;
 pub mod scheme;
 
 pub use device::{DeviceError, DeviceStats, SsdDevice};
+pub use fault::{IoOp, SsdFaultPlan, SsdFaultStats};
 pub use lru::LruMap;
 pub use mmapio::{MmapConfig, MmapRegion, MmapStats};
 pub use pagecache::{PageCache, PageCacheConfig, PageCacheStats};

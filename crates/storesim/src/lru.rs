@@ -265,7 +265,9 @@ mod tests {
         let mut model: Vec<u32> = Vec::new(); // front = MRU
         let mut x: u64 = 12345;
         for step in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (x >> 33) as u32 % 50;
             match step % 4 {
                 0 | 1 => {

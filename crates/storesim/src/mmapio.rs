@@ -274,9 +274,7 @@ impl MmapRegion {
                 self.stats.borrow_mut().flushed_pages += 1;
             }
             let mut resident = self.resident.borrow_mut();
-            let is_clean = resident
-                .peek(&page_idx)
-                .is_some_and(|p| p.dirty_epoch == 0);
+            let is_clean = resident.peek(&page_idx).is_some_and(|p| p.dirty_epoch == 0);
             if is_clean {
                 resident.remove(&page_idx);
             }
@@ -309,7 +307,9 @@ impl MmapRegion {
                         break;
                     }
                 }
-                let Some(p) = resident.peek(&idx) else { continue };
+                let Some(p) = resident.peek(&idx) else {
+                    continue;
+                };
                 run.push((idx, p.data.clone(), p.dirty_epoch));
                 if run.len() >= 16 {
                     break;
@@ -439,7 +439,9 @@ mod tests {
         sim.run_until(async move {
             let (mm, _dev) = region_with(&sim2, instant_device(), 1 << 20, HostModel::zero());
             for i in 0..64u64 {
-                mm.write(i * (64 << 10), &[i as u8; 64 << 10]).await.unwrap();
+                mm.write(i * (64 << 10), &[i as u8; 64 << 10])
+                    .await
+                    .unwrap();
             }
             mm.msync().await.unwrap();
             // All data still readable after reclaim (from device).

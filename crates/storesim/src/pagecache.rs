@@ -274,9 +274,7 @@ impl PageCache {
             // Only drop the page if it is clean now (it may have been
             // re-dirtied while the inline flush waited on the device).
             let mut pages = self.pages.borrow_mut();
-            let is_clean = pages
-                .peek(&page_idx)
-                .is_some_and(|p| p.dirty_epoch == 0);
+            let is_clean = pages.peek(&page_idx).is_some_and(|p| p.dirty_epoch == 0);
             if is_clean {
                 pages.remove(&page_idx);
             }
@@ -395,8 +393,7 @@ mod tests {
         let sim = Sim::new();
         let sim2 = sim.clone();
         sim.run_until(async move {
-            let (cache, dev) =
-                cache_with(&sim2, sata_ssd(), 64 << 20, HostModel::default_host());
+            let (cache, dev) = cache_with(&sim2, sata_ssd(), 64 << 20, HostModel::default_host());
             let slab = vec![7u8; 1 << 20];
             let t0 = sim2.now();
             cache.write(0, &slab).await.unwrap();
@@ -477,7 +474,10 @@ mod tests {
             let (cache, dev) = cache_with(&sim2, instant_device(), 1 << 20, HostModel::zero());
             // Write 4 MiB through a 1 MiB cache.
             for i in 0..64u64 {
-                cache.write(i * (64 << 10), &[i as u8; 64 << 10]).await.unwrap();
+                cache
+                    .write(i * (64 << 10), &[i as u8; 64 << 10])
+                    .await
+                    .unwrap();
             }
             cache.sync().await.unwrap();
             // Everything must still be readable (from device or cache).

@@ -53,8 +53,7 @@ impl DeviceProfile {
     /// Service time of one synchronous (barriered) write of `bytes` — the
     /// cost the direct-I/O slab flush pays.
     pub fn sync_write_cost(&self, bytes: usize) -> Duration {
-        self.write_base * 2
-            + per_byte(bytes, self.write_ns_per_byte * self.sync_write_multiplier)
+        self.write_base * 2 + per_byte(bytes, self.write_ns_per_byte * self.sync_write_multiplier)
     }
 
     /// Uniformly scale all latencies (not capacity/queue depth).
@@ -197,7 +196,8 @@ mod tests {
             assert!(n.read_cost(len) < s.read_cost(len));
             assert!(n.write_cost(len) < s.write_cost(len));
         }
-        let ratio = s.read_cost(32 << 10).as_nanos() as f64 / n.read_cost(32 << 10).as_nanos() as f64;
+        let ratio =
+            s.read_cost(32 << 10).as_nanos() as f64 / n.read_cost(32 << 10).as_nanos() as f64;
         assert!(ratio > 3.0, "SATA/NVMe 32KB read ratio {ratio:.1}");
     }
 
@@ -206,8 +206,7 @@ mod tests {
         let host = HostModel::default_host();
         let dev = sata_ssd();
         let len = 1 << 20;
-        let ratio =
-            dev.write_cost(len).as_nanos() as f64 / host.memcpy_cost(len).as_nanos() as f64;
+        let ratio = dev.write_cost(len).as_nanos() as f64 / host.memcpy_cost(len).as_nanos() as f64;
         assert!(ratio > 10.0, "device/memcpy = {ratio:.0}");
     }
 

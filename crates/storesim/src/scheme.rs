@@ -93,7 +93,12 @@ impl SlabIo {
     }
 
     /// Write `data` at `offset` through `scheme`.
-    pub async fn write(&self, scheme: IoScheme, offset: u64, data: &[u8]) -> Result<(), DeviceError> {
+    pub async fn write(
+        &self,
+        scheme: IoScheme,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), DeviceError> {
         match scheme {
             IoScheme::Direct => self.dev.write_sync(offset, data).await,
             IoScheme::Cached => self.cache.write(offset, data).await,
@@ -102,7 +107,12 @@ impl SlabIo {
     }
 
     /// Read `len` bytes at `offset` through `scheme`.
-    pub async fn read(&self, scheme: IoScheme, offset: u64, len: usize) -> Result<Bytes, DeviceError> {
+    pub async fn read(
+        &self,
+        scheme: IoScheme,
+        offset: u64,
+        len: usize,
+    ) -> Result<Bytes, DeviceError> {
         match scheme {
             IoScheme::Direct => self.dev.read(offset, len).await,
             IoScheme::Cached => self.cache.read(offset, len).await,
@@ -199,7 +209,9 @@ mod tests {
             let io = slab_io(&sim2, instant_device(), HostModel::zero());
             io.write(IoScheme::Cached, 0, &[1u8; 64]).await.unwrap();
             io.write(IoScheme::Mmap, 1 << 20, &[2u8; 64]).await.unwrap();
-            io.write(IoScheme::Direct, 2 << 20, &[3u8; 64]).await.unwrap();
+            io.write(IoScheme::Direct, 2 << 20, &[3u8; 64])
+                .await
+                .unwrap();
             io.sync_all().await.unwrap();
             assert_eq!(io.device().peek(0, 1)[0], 1);
             assert_eq!(io.device().peek(1 << 20, 1)[0], 2);

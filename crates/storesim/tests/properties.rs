@@ -4,9 +4,7 @@
 use std::collections::HashMap;
 
 use nbkv_simrt::Sim;
-use nbkv_storesim::{
-    instant_device, HostModel, IoScheme, LruMap, SlabIo, SlabIoConfig, SsdDevice,
-};
+use nbkv_storesim::{instant_device, HostModel, IoScheme, LruMap, SlabIo, SlabIoConfig, SsdDevice};
 use proptest::prelude::*;
 
 proptest! {

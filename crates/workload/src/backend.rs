@@ -42,7 +42,8 @@ impl BackendDb {
     pub async fn fetch(&self, key: &Bytes) -> Bytes {
         self.sim.sleep(self.penalty).await;
         self.fetches.set(self.fetches.get() + 1);
-        self.values.value(key.len() + key.last().copied().unwrap_or(0) as usize)
+        self.values
+            .value(key.len() + key.last().copied().unwrap_or(0) as usize)
     }
 
     /// Number of backend queries so far.

@@ -126,10 +126,7 @@ pub async fn run_bursty(sim: &Sim, client: &Rc<Client>, spec: &BurstSpec) -> Bur
                 }
                 for done in client.wait_all(&handles).await {
                     assert_eq!(done.status, OpStatus::Hit);
-                    assert_eq!(
-                        done.value.as_ref().map(|v| v.len()),
-                        Some(spec.chunk_bytes)
-                    );
+                    assert_eq!(done.value.as_ref().map(|v| v.len()), Some(spec.chunk_bytes));
                 }
             }
         }

@@ -155,7 +155,11 @@ mod tests {
         }
         let max = counts.values().max().copied().unwrap();
         assert!(max > 300, "hottest key seen {max} times");
-        assert!(counts.len() < 6_000, "only a subset touched: {}", counts.len());
+        assert!(
+            counts.len() < 6_000,
+            "only a subset touched: {}",
+            counts.len()
+        );
     }
 
     #[test]

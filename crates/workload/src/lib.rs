@@ -30,6 +30,8 @@ pub use bursty::{run_bursty, BurstReport, BurstSpec};
 pub use histogram::{LatencyRecorder, StageAggregator, StageBreakdown};
 pub use keygen::{AccessPattern, KeyChooser, KeySpace, ValuePool};
 pub use mix::{OpKind, OpMix};
-pub use runner::{preload, replay_trace, run_workload, PlannedOp, ReplayParams, RunReport, WorkloadSpec};
+pub use runner::{
+    preload, replay_trace, run_workload, PlannedOp, ReplayParams, RunReport, WorkloadSpec,
+};
 pub use trace::{Trace, TraceOp};
 pub use zipf::Zipf;

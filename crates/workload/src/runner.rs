@@ -19,8 +19,8 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use nbkv_core::client::{Client, Completion, ReqHandle};
-use nbkv_core::proto::{ApiFlavor, OpStatus, ServedFrom};
+use nbkv_core::client::{Client, ClientError, Completion, ReqHandle};
+use nbkv_core::proto::{ApiFlavor, OpStatus, ServedFrom, StageTimes};
 use nbkv_simrt::Sim;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -152,6 +152,10 @@ pub struct RunReport {
     pub wait_blocked_ns: u64,
     /// Percentage of the job runtime available for overlap.
     pub overlap_pct: f64,
+    /// Operations that failed with a client error (timeouts included).
+    pub failed_ops: u64,
+    /// Subset of `failed_ops` that ran out their deadline.
+    pub timed_out_ops: u64,
 }
 
 impl RunReport {
@@ -161,6 +165,15 @@ impl RunReport {
             return 0.0;
         }
         self.ops as f64 * 1e9 / self.elapsed_ns as f64
+    }
+
+    /// Successful operations per second — what the application actually
+    /// got done under faults.
+    pub fn goodput_ops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        (self.ops as u64).saturating_sub(self.failed_ops) as f64 * 1e9 / self.elapsed_ns as f64
     }
 
     /// Merge per-client reports from a concurrent run into an aggregate:
@@ -196,8 +209,13 @@ impl RunReport {
             backend_fetches: reports.iter().map(|r| r.backend_fetches).sum(),
             issue_blocked_ns: reports.iter().map(|r| r.issue_blocked_ns).sum(),
             wait_blocked_ns: reports.iter().map(|r| r.wait_blocked_ns).sum(),
-            overlap_pct: reports.iter().map(|r| r.overlap_pct * r.ops as f64).sum::<f64>()
+            overlap_pct: reports
+                .iter()
+                .map(|r| r.overlap_pct * r.ops as f64)
+                .sum::<f64>()
                 / total_ops.max(1) as f64,
+            failed_ops: reports.iter().map(|r| r.failed_ops).sum(),
+            timed_out_ops: reports.iter().map(|r| r.timed_out_ops).sum(),
         }
     }
 }
@@ -250,8 +268,15 @@ pub async fn run_workload(sim: &Sim, client: &Rc<Client>, spec: &WorkloadSpec) -
     let pool = ValuePool::new(spec.value_len, 8);
     match spec.flavor {
         ApiFlavor::Block => {
-            execute_blocking(sim, client, &plan, &pool, spec.miss_penalty, spec.recache_on_miss)
-                .await
+            execute_blocking(
+                sim,
+                client,
+                &plan,
+                &pool,
+                spec.miss_penalty,
+                spec.recache_on_miss,
+            )
+            .await
         }
         flavor => execute_nonblocking(sim, client, &plan, &pool, flavor, spec.window).await,
     }
@@ -269,8 +294,15 @@ pub async fn replay_trace(
     let pool = ValuePool::new(params.value_len, 8);
     match params.flavor {
         ApiFlavor::Block => {
-            execute_blocking(sim, client, &plan, &pool, params.miss_penalty, params.recache_on_miss)
-                .await
+            execute_blocking(
+                sim,
+                client,
+                &plan,
+                &pool,
+                params.miss_penalty,
+                params.recache_on_miss,
+            )
+            .await
         }
         flavor => execute_nonblocking(sim, client, &plan, &pool, flavor, params.window).await,
     }
@@ -294,43 +326,74 @@ async fn execute_blocking(
         let t0 = sim.now();
         match op {
             PlannedOp::Set { key } => {
-                let c = client
-                    .set(key.clone(), pool.value(op_idx), 0, None)
-                    .await
-                    .expect("set failed");
-                let total = ns(sim, t0);
-                agg.record_blocking(&c.stages, total, 0);
-                rec.record(total);
-            }
-            PlannedOp::Get { key } => {
-                let c = client.get(key.clone()).await.expect("get failed");
-                let mut penalty_ns = 0u64;
-                counters.count_get(&c);
-                if c.status == OpStatus::Miss {
-                    let p0 = sim.now();
-                    let value = backend.fetch(key).await;
-                    penalty_ns = ns_between(p0, sim.now());
-                    if recache_on_miss {
-                        client
-                            .set(key.clone(), value, 0, None)
-                            .await
-                            .expect("re-cache set failed");
+                match client.set(key.clone(), pool.value(op_idx), 0, None).await {
+                    Ok(c) => {
+                        let total = ns(sim, t0);
+                        agg.record_blocking(&c.stages, total, 0);
+                        rec.record(total);
+                    }
+                    Err(e) => {
+                        counters.count_error(&e);
+                        rec.record(ns(sim, t0));
                     }
                 }
-                let total = ns(sim, t0);
-                agg.record_blocking(&c.stages, total, penalty_ns);
-                rec.record(total);
             }
-            PlannedOp::Delete { key } => {
-                let c = client.delete(key.clone()).await.expect("delete failed");
-                let total = ns(sim, t0);
-                agg.record_blocking(&c.stages, total, 0);
-                rec.record(total);
-            }
+            PlannedOp::Get { key } => match client.get(key.clone()).await {
+                Ok(c) => {
+                    let mut penalty_ns = 0u64;
+                    counters.count_get(&c);
+                    if c.status == OpStatus::Miss {
+                        let p0 = sim.now();
+                        let value = backend.fetch(key).await;
+                        penalty_ns = ns_between(p0, sim.now());
+                        if recache_on_miss {
+                            // Best-effort: a failed re-cache costs a future
+                            // miss, not the current op, so it is not a
+                            // failed op.
+                            let _ = client.set(key.clone(), value, 0, None).await;
+                        }
+                    }
+                    let total = ns(sim, t0);
+                    agg.record_blocking(&c.stages, total, penalty_ns);
+                    rec.record(total);
+                }
+                Err(e) => {
+                    // Graceful degradation: a read the store cannot serve
+                    // (server down, retries exhausted) falls back to the
+                    // backend database at the full miss penalty.
+                    counters.count_error(&e);
+                    let p0 = sim.now();
+                    let _ = backend.fetch(key).await;
+                    let penalty_ns = ns_between(p0, sim.now());
+                    let total = ns(sim, t0);
+                    agg.record_blocking(&StageTimes::default(), total, penalty_ns);
+                    rec.record(total);
+                }
+            },
+            PlannedOp::Delete { key } => match client.delete(key.clone()).await {
+                Ok(c) => {
+                    let total = ns(sim, t0);
+                    agg.record_blocking(&c.stages, total, 0);
+                    rec.record(total);
+                }
+                Err(e) => {
+                    counters.count_error(&e);
+                    rec.record(ns(sim, t0));
+                }
+            },
         }
     }
     let elapsed = ns_between(start, sim.now());
-    finish_report(plan.len(), elapsed, rec, agg, counters, backend.fetches(), elapsed, 0)
+    finish_report(
+        plan.len(),
+        elapsed,
+        rec,
+        agg,
+        counters,
+        backend.fetches(),
+        elapsed,
+        0,
+    )
 }
 
 async fn execute_nonblocking(
@@ -346,19 +409,20 @@ async fn execute_nonblocking(
     let mut issue_ns_per_op: Vec<u64> = Vec::with_capacity(plan.len());
     let mut issue_blocked = 0u64;
     let mut wait_blocked = 0u64;
+    // Non-blocking completions carry no per-attempt retry loop, so the
+    // client's deadline bounds every reap — without it a dropped request
+    // under fault injection would hang the run forever.
+    let reap_deadline = client.policy().deadline;
 
     let start = sim.now();
     for (op_idx, op) in plan.iter().enumerate() {
         // Respect the application window: reap the oldest when full.
         if inflight.len() >= window.max(1) {
             let h = inflight.pop_front().expect("window full implies inflight");
-            let t = sim.now();
-            let c = h.wait().await;
-            wait_blocked += ns(sim, t);
-            counters.count_get(&c);
+            wait_blocked += reap(sim, h, reap_deadline, &mut counters).await;
         }
         let t0 = sim.now();
-        let handle = match (op, flavor) {
+        let issued = match (op, flavor) {
             (PlannedOp::Set { key }, ApiFlavor::NonBlockingI) => {
                 client.iset(key.clone(), pool.value(op_idx), 0, None).await
             }
@@ -370,26 +434,26 @@ async fn execute_nonblocking(
             (PlannedOp::Delete { key }, _) => {
                 // Deletes have no non-blocking variant in the paper's API;
                 // issue them blocking.
-                let c = client.delete(key.clone()).await.expect("delete failed");
+                if let Err(e) = client.delete(key.clone()).await {
+                    counters.count_error(&e);
+                }
                 let issue = ns(sim, t0);
                 issue_blocked += issue;
                 issue_ns_per_op.push(issue);
-                let _ = c;
                 continue;
             }
-        }
-        .expect("issue failed");
+        };
         let issue = ns(sim, t0);
         issue_blocked += issue;
         issue_ns_per_op.push(issue);
-        inflight.push_back(handle);
+        match issued {
+            Ok(handle) => inflight.push_back(handle),
+            Err(e) => counters.count_error(&e),
+        }
     }
     // The end-of-job memcached_wait over everything still outstanding.
     while let Some(h) = inflight.pop_front() {
-        let t = sim.now();
-        let c = h.wait().await;
-        wait_blocked += ns(sim, t);
-        counters.count_get(&c);
+        wait_blocked += reap(sim, h, reap_deadline, &mut counters).await;
     }
     let elapsed = ns_between(start, sim.now());
 
@@ -414,12 +478,33 @@ async fn execute_nonblocking(
     )
 }
 
+/// Wait for one outstanding completion, bounded by `deadline` when the
+/// client has one. A timed-out reap cancels the request (the handle reaps
+/// its pending-table entry and window permit) and counts as a failed op.
+/// Returns the virtual ns spent waiting.
+async fn reap(sim: &Sim, h: ReqHandle, deadline: Option<Duration>, counters: &mut Counters) -> u64 {
+    let t = sim.now();
+    match deadline {
+        Some(d) => match h.wait_timeout(d).await {
+            Ok(c) => counters.count_get(&c),
+            Err(_) => counters.count_error(&ClientError::TimedOut),
+        },
+        None => {
+            let c = h.wait().await;
+            counters.count_get(&c);
+        }
+    }
+    ns(sim, t)
+}
+
 #[derive(Default)]
 struct Counters {
     hits: u64,
     misses: u64,
     ram_hits: u64,
     ssd_hits: u64,
+    failed: u64,
+    timed_out: u64,
 }
 
 impl Counters {
@@ -435,6 +520,13 @@ impl Counters {
             }
             OpStatus::Miss => self.misses += 1,
             _ => {}
+        }
+    }
+
+    fn count_error(&mut self, e: &ClientError) {
+        self.failed += 1;
+        if matches!(e, ClientError::TimedOut) {
+            self.timed_out += 1;
         }
     }
 }
@@ -469,6 +561,8 @@ fn finish_report(
         issue_blocked_ns,
         wait_blocked_ns,
         overlap_pct,
+        failed_ops: counters.failed,
+        timed_out_ops: counters.timed_out,
     }
 }
 
@@ -509,7 +603,11 @@ mod tests {
         assert_eq!(report.hits, 300);
         assert_eq!(report.misses, 0);
         assert!(report.mean_latency_ns > 0);
-        assert!(report.overlap_pct < 5.0, "blocking has no overlap: {}", report.overlap_pct);
+        assert!(
+            report.overlap_pct < 5.0,
+            "blocking has no overlap: {}",
+            report.overlap_pct
+        );
     }
 
     #[test]
@@ -584,6 +682,8 @@ mod tests {
             issue_blocked_ns: 100,
             wait_blocked_ns: 0,
             overlap_pct: 90.0,
+            failed_ops: 0,
+            timed_out_ops: 0,
         };
         let mut b = a.clone();
         b.ops = 300;

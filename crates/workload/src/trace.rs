@@ -127,10 +127,31 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = Trace::generate(100, 1024, AccessPattern::Zipf(0.99), OpMix::WRITE_HEAVY, 200, 7);
-        let b = Trace::generate(100, 1024, AccessPattern::Zipf(0.99), OpMix::WRITE_HEAVY, 200, 7);
+        let a = Trace::generate(
+            100,
+            1024,
+            AccessPattern::Zipf(0.99),
+            OpMix::WRITE_HEAVY,
+            200,
+            7,
+        );
+        let b = Trace::generate(
+            100,
+            1024,
+            AccessPattern::Zipf(0.99),
+            OpMix::WRITE_HEAVY,
+            200,
+            7,
+        );
         assert_eq!(a, b);
-        let c = Trace::generate(100, 1024, AccessPattern::Zipf(0.99), OpMix::WRITE_HEAVY, 200, 8);
+        let c = Trace::generate(
+            100,
+            1024,
+            AccessPattern::Zipf(0.99),
+            OpMix::WRITE_HEAVY,
+            200,
+            8,
+        );
         assert_ne!(a.ops, c.ops);
     }
 
@@ -140,7 +161,10 @@ mod tests {
             version: 1,
             note: "test".into(),
             ops: vec![
-                TraceOp::Set { key: "a".into(), value_len: 10 },
+                TraceOp::Set {
+                    key: "a".into(),
+                    value_len: 10,
+                },
                 TraceOp::Get { key: "a".into() },
                 TraceOp::Delete { key: "a".into() },
             ],
@@ -163,7 +187,11 @@ mod tests {
     #[test]
     fn generated_mix_matches_spec() {
         let t = Trace::generate(50, 128, AccessPattern::Uniform, OpMix::WRITE_HEAVY, 4000, 3);
-        let writes = t.ops.iter().filter(|o| matches!(o, TraceOp::Set { .. })).count();
+        let writes = t
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Set { .. }))
+            .count();
         assert!((1600..=2400).contains(&writes), "{writes} writes of 4000");
         assert_eq!(t.len(), 4000);
         assert!(!t.is_empty());

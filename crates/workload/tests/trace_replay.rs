@@ -24,7 +24,14 @@ fn replay_on(design: Design, trace: &Trace, value_len: usize) -> RunReport {
 
 #[test]
 fn replay_is_bit_deterministic() {
-    let trace = Trace::generate(200, 8 << 10, AccessPattern::Zipf(0.99), OpMix::WRITE_HEAVY, 300, 5);
+    let trace = Trace::generate(
+        200,
+        8 << 10,
+        AccessPattern::Zipf(0.99),
+        OpMix::WRITE_HEAVY,
+        300,
+        5,
+    );
     let a = replay_on(Design::HRdmaOptNonBI, &trace, 8 << 10);
     let b = replay_on(Design::HRdmaOptNonBI, &trace, 8 << 10);
     assert_eq!(a.elapsed_ns, b.elapsed_ns);
@@ -37,11 +44,21 @@ fn same_trace_compares_designs_fairly() {
     // The whole point of traces: every design sees the *identical*
     // operation sequence, so hit counts line up exactly for hybrid
     // designs (which never lose data).
-    let trace = Trace::generate(200, 8 << 10, AccessPattern::Zipf(0.99), OpMix::READ_ONLY, 400, 9);
+    let trace = Trace::generate(
+        200,
+        8 << 10,
+        AccessPattern::Zipf(0.99),
+        OpMix::READ_ONLY,
+        400,
+        9,
+    );
     let block = replay_on(Design::HRdmaOptBlock, &trace, 8 << 10);
     let nonb = replay_on(Design::HRdmaOptNonBI, &trace, 8 << 10);
     assert_eq!(block.hits + block.misses, 400);
-    assert_eq!(block.hits, nonb.hits, "identical op sequence, identical hits");
+    assert_eq!(
+        block.hits, nonb.hits,
+        "identical op sequence, identical hits"
+    );
     assert!(
         nonb.mean_latency_ns < block.mean_latency_ns,
         "non-blocking still wins under replay"
@@ -64,8 +81,14 @@ fn traces_with_deletes_replay_correctly() {
         version: 1,
         note: "hand-written".into(),
         ops: vec![
-            TraceOp::Set { key: "a".into(), value_len: 128 },
-            TraceOp::Set { key: "b".into(), value_len: 128 },
+            TraceOp::Set {
+                key: "a".into(),
+                value_len: 128,
+            },
+            TraceOp::Set {
+                key: "b".into(),
+                value_len: 128,
+            },
             TraceOp::Get { key: "a".into() },
             TraceOp::Delete { key: "a".into() },
             TraceOp::Get { key: "a".into() },

@@ -60,7 +60,7 @@ fn run_overlapped() -> u64 {
                 .expect("iset");
             pending.push(h);
             sim2.sleep(COMPUTE_PER_ROUND).await; // compute while the set flies
-            // Reap whatever finished meanwhile (memcached_test).
+                                                 // Reap whatever finished meanwhile (memcached_test).
             pending.retain(|h| h.test().is_none());
         }
         // Final memcached_wait over the stragglers.

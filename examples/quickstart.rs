@@ -32,9 +32,15 @@ fn main() {
             .await
             .expect("set");
         assert_eq!(done.status, OpStatus::Stored);
-        println!("blocking set  : Stored in {:.1}us", done.latency_ns() as f64 / 1e3);
+        println!(
+            "blocking set  : Stored in {:.1}us",
+            done.latency_ns() as f64 / 1e3
+        );
 
-        let got = client.get(Bytes::from_static(b"greeting")).await.expect("get");
+        let got = client
+            .get(Bytes::from_static(b"greeting"))
+            .await
+            .expect("get");
         println!(
             "blocking get  : {:?} -> {:?} in {:.1}us",
             got.status,
@@ -74,7 +80,11 @@ fn main() {
             .expect("iget");
         println!("test() right after issue: {:?}", h.test().map(|c| c.status));
         let c = h.wait().await;
-        println!("wait()                  : {:?}, {} bytes", c.status, c.value.unwrap().len());
+        println!(
+            "wait()                  : {:?}, {} bytes",
+            c.status,
+            c.value.unwrap().len()
+        );
 
         // Server-side statistics.
         let stats = server.store().stats();

@@ -48,7 +48,11 @@ fn run_tier(design: Design) -> nbkv::workload::RunReport {
 
 fn main() {
     println!("web-scale caching tier: 95% reads, Zipf(0.99), data = 1.5x cache memory\n");
-    for design in [Design::RdmaMem, Design::HRdmaOptBlock, Design::HRdmaOptNonBI] {
+    for design in [
+        Design::RdmaMem,
+        Design::HRdmaOptBlock,
+        Design::HRdmaOptNonBI,
+    ] {
         let r = run_tier(design);
         println!(
             "{:<18} avg {:>8.1}us  p99 {:>9.1}us  miss {:>4.1}%  db-queries {:>4}  ssd-hits {:>4}",

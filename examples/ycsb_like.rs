@@ -48,7 +48,11 @@ fn main() {
         ("YCSB-B (95/5)", OpMix { read_pct: 95 }),
         ("YCSB-C (read-only)", OpMix::READ_ONLY),
     ];
-    let designs = [Design::RdmaMem, Design::HRdmaOptBlock, Design::HRdmaOptNonBI];
+    let designs = [
+        Design::RdmaMem,
+        Design::HRdmaOptBlock,
+        Design::HRdmaOptNonBI,
+    ];
 
     println!(
         "{:<20} {:>20} {:>20} {:>20}",
@@ -69,7 +73,10 @@ fn main() {
                 )
             })
             .collect();
-        println!("{:<20} {:>20} {:>20} {:>20}", wl_name, cells[0], cells[1], cells[2]);
+        println!(
+            "{:<20} {:>20} {:>20} {:>20}",
+            wl_name, cells[0], cells[1], cells[2]
+        );
     }
     println!("\n(mi = cache miss rate; hybrid designs retain all data so they never miss)");
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, tests. Run from anywhere; exits non-zero
+# on the first failure.
+#
+# Note: plain `cargo fmt` / `cargo clippy --workspace` cover exactly the
+# first-party crates — the vendored stand-ins under third_party/ are
+# workspace-excluded (do NOT use `cargo fmt --all`, which follows path
+# dependencies into them).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> OK"

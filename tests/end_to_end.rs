@@ -32,7 +32,10 @@ fn every_design_round_trips_data() {
         let client = Rc::clone(&cluster.clients[0]);
         sim.run_until(async move {
             for i in 0..50 {
-                let c = client.set(key(i), value(i, 4096), i as u32, None).await.unwrap();
+                let c = client
+                    .set(key(i), value(i, 4096), i as u32, None)
+                    .await
+                    .unwrap();
                 assert_eq!(c.status, OpStatus::Stored, "{design:?}");
             }
             for i in 0..50 {
@@ -57,12 +60,20 @@ fn hybrid_design_survives_memory_pressure_with_full_integrity() {
         let n = 24 * 16; // 24 MiB / 64 KiB
         let mut handles = Vec::new();
         for i in 0..n {
-            handles.push(client.iset(key(i), value(i, 64 << 10), 0, None).await.unwrap());
+            handles.push(
+                client
+                    .iset(key(i), value(i, 64 << 10), 0, None)
+                    .await
+                    .unwrap(),
+            );
         }
         for (i, c) in client.wait_all(&handles).await.into_iter().enumerate() {
             assert_eq!(c.status, OpStatus::Stored, "set {i}");
         }
-        assert!(server.store().stats().flushed_pages > 0, "must have spilled");
+        assert!(
+            server.store().stats().flushed_pages > 0,
+            "must have spilled"
+        );
         // Read every key back and verify content byte-for-byte.
         for i in 0..n {
             let g = client.get(key(i)).await.unwrap();
@@ -83,7 +94,10 @@ fn memory_only_design_loses_data_under_pressure() {
     sim.run_until(async move {
         let n = 24 * 16;
         for i in 0..n {
-            client.set(key(i), value(i, 64 << 10), 0, None).await.unwrap();
+            client
+                .set(key(i), value(i, 64 << 10), 0, None)
+                .await
+                .unwrap();
         }
         let mut misses = 0;
         for i in 0..n {
@@ -91,7 +105,10 @@ fn memory_only_design_loses_data_under_pressure() {
                 misses += 1;
             }
         }
-        assert!(misses > n / 3, "most of the overflow must be gone: {misses}/{n}");
+        assert!(
+            misses > n / 3,
+            "most of the overflow must be gone: {misses}/{n}"
+        );
     });
 }
 
@@ -105,7 +122,12 @@ fn deterministic_virtual_timelines_across_runs() {
         let end = sim.run_until(async move {
             let mut handles = Vec::new();
             for i in 0..100 {
-                handles.push(client.bset(key(i), value(i, 16 << 10), 0, None).await.unwrap());
+                handles.push(
+                    client
+                        .bset(key(i), value(i, 16 << 10), 0, None)
+                        .await
+                        .unwrap(),
+                );
             }
             client.wait_all(&handles).await;
             sim2.now().as_nanos()
@@ -168,13 +190,24 @@ fn delete_and_expiry_behave_across_the_wire() {
     sim.run_until(async move {
         // Delete.
         client.set(key(1), value(1, 128), 0, None).await.unwrap();
-        assert_eq!(client.delete(key(1)).await.unwrap().status, OpStatus::Deleted);
+        assert_eq!(
+            client.delete(key(1)).await.unwrap().status,
+            OpStatus::Deleted
+        );
         assert_eq!(client.get(key(1)).await.unwrap().status, OpStatus::Miss);
-        assert_eq!(client.delete(key(1)).await.unwrap().status, OpStatus::NotFound);
+        assert_eq!(
+            client.delete(key(1)).await.unwrap().status,
+            OpStatus::NotFound
+        );
 
         // Expiry.
         client
-            .set(key(2), value(2, 128), 0, Some(std::time::Duration::from_millis(3)))
+            .set(
+                key(2),
+                value(2, 128),
+                0,
+                Some(std::time::Duration::from_millis(3)),
+            )
             .await
             .unwrap();
         assert_eq!(client.get(key(2)).await.unwrap().status, OpStatus::Hit);

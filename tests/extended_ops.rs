@@ -60,7 +60,10 @@ fn replace_requires_existing_key() {
         client.set(b("k"), b("old"), 0, None).await.unwrap();
         let hit = client.replace(b("k"), b("new"), 0, None).await.unwrap();
         assert_eq!(hit.status, OpStatus::Stored);
-        assert_eq!(&client.get(b("k")).await.unwrap().value.unwrap()[..], b"new");
+        assert_eq!(
+            &client.get(b("k")).await.unwrap().value.unwrap()[..],
+            b"new"
+        );
     });
 }
 
@@ -79,9 +82,15 @@ fn cas_succeeds_only_with_fresh_token() {
 
         // Retry with the fresh token.
         let g2 = client.get(b("k")).await.unwrap();
-        let fresh = client.cas(b("k"), b("mine"), 0, None, g2.cas).await.unwrap();
+        let fresh = client
+            .cas(b("k"), b("mine"), 0, None, g2.cas)
+            .await
+            .unwrap();
         assert_eq!(fresh.status, OpStatus::Stored);
-        assert_eq!(&client.get(b("k")).await.unwrap().value.unwrap()[..], b"mine");
+        assert_eq!(
+            &client.get(b("k")).await.unwrap().value.unwrap()[..],
+            b"mine"
+        );
 
         // CAS on a missing key.
         let missing = client.cas(b("nope"), b("x"), 0, None, 1).await.unwrap();
@@ -99,8 +108,14 @@ fn append_and_prepend_splice_values() {
             "append needs an existing value"
         );
         client.set(b("k"), b("mid"), 42, None).await.unwrap();
-        assert_eq!(client.append(b("k"), b("-tail")).await.unwrap().status, OpStatus::Stored);
-        assert_eq!(client.prepend(b("k"), b("head-")).await.unwrap().status, OpStatus::Stored);
+        assert_eq!(
+            client.append(b("k"), b("-tail")).await.unwrap().status,
+            OpStatus::Stored
+        );
+        assert_eq!(
+            client.prepend(b("k"), b("head-")).await.unwrap().status,
+            OpStatus::Stored
+        );
         let got = client.get(b("k")).await.unwrap();
         assert_eq!(&got.value.unwrap()[..], b"head-mid-tail");
         assert_eq!(got.flags, 42, "append/prepend keep original flags");
@@ -112,7 +127,10 @@ fn incr_decr_follow_memcached_semantics() {
     let (sim, client) = rig();
     sim.run_until(async move {
         // incr on missing -> NotFound.
-        assert_eq!(client.incr(b("n"), 5).await.unwrap().status, OpStatus::NotFound);
+        assert_eq!(
+            client.incr(b("n"), 5).await.unwrap().status,
+            OpStatus::NotFound
+        );
 
         client.set(b("n"), b("10"), 0, None).await.unwrap();
         let up = client.incr(b("n"), 5).await.unwrap();
@@ -127,7 +145,10 @@ fn incr_decr_follow_memcached_semantics() {
 
         // Non-numeric values error.
         client.set(b("s"), b("abc"), 0, None).await.unwrap();
-        assert_eq!(client.incr(b("s"), 1).await.unwrap().status, OpStatus::Error);
+        assert_eq!(
+            client.incr(b("s"), 1).await.unwrap().status,
+            OpStatus::Error
+        );
     });
 }
 
@@ -141,7 +162,10 @@ fn touch_extends_and_removes_expiry() {
             .await
             .unwrap();
         // Extend before it lapses.
-        let t = client.touch(b("k"), Some(Duration::from_millis(50))).await.unwrap();
+        let t = client
+            .touch(b("k"), Some(Duration::from_millis(50)))
+            .await
+            .unwrap();
         assert_eq!(t.status, OpStatus::Stored);
         sim2.sleep(Duration::from_millis(10)).await;
         assert_eq!(client.get(b("k")).await.unwrap().status, OpStatus::Hit);
@@ -163,7 +187,12 @@ fn get_multi_returns_in_key_order() {
     sim.run_until(async move {
         for i in 0..20 {
             client
-                .set(b(&format!("m{i:02}")), Bytes::from(vec![i as u8; 64]), 0, None)
+                .set(
+                    b(&format!("m{i:02}")),
+                    Bytes::from(vec![i as u8; 64]),
+                    0,
+                    None,
+                )
                 .await
                 .unwrap();
         }
@@ -193,7 +222,12 @@ fn conditional_ops_work_on_ssd_resident_items() {
         // Push 8 MiB through a 4 MiB store to spill the counter to SSD.
         for i in 0..128 {
             client
-                .set(b(&format!("fill{i:04}")), Bytes::from(vec![1u8; 64 << 10]), 0, None)
+                .set(
+                    b(&format!("fill{i:04}")),
+                    Bytes::from(vec![1u8; 64 << 10]),
+                    0,
+                    None,
+                )
                 .await
                 .unwrap();
         }
@@ -203,7 +237,10 @@ fn conditional_ops_work_on_ssd_resident_items() {
         assert_eq!(up.counter, 10);
         let app = client.append(b("ctr"), b("!")).await.unwrap();
         assert_eq!(app.status, OpStatus::Stored);
-        assert_eq!(&client.get(b("ctr")).await.unwrap().value.unwrap()[..], b"10!");
+        assert_eq!(
+            &client.get(b("ctr")).await.unwrap().value.unwrap()[..],
+            b"10!"
+        );
     });
 }
 
@@ -212,7 +249,10 @@ fn stats_op_reports_server_state_over_the_wire() {
     let (sim, client) = rig();
     sim.run_until(async move {
         for i in 0..30 {
-            client.set(b(&format!("s{i}")), Bytes::from(vec![1u8; 4096]), 0, None).await.unwrap();
+            client
+                .set(b(&format!("s{i}")), Bytes::from(vec![1u8; 4096]), 0, None)
+                .await
+                .unwrap();
         }
         client.get(b("s0")).await.unwrap();
         client.get(b("missing")).await.unwrap();

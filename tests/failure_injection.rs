@@ -5,6 +5,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use nbkv::core::client::ClientError;
 use nbkv::core::cluster::{build_cluster, ClusterConfig};
 use nbkv::core::designs::Design;
 use nbkv::core::proto::OpStatus;
@@ -12,6 +13,25 @@ use nbkv::simrt::Sim;
 
 fn b(s: &str) -> Bytes {
     Bytes::from(s.to_string())
+}
+
+#[test]
+fn blocking_set_to_closed_server_times_out_by_default() {
+    // No wait_timeout anywhere: the default resilience policy's deadline
+    // bounds every blocking op on its own.
+    let sim = Sim::new();
+    let cluster = build_cluster(&sim, &ClusterConfig::new(Design::RdmaMem, 8 << 20));
+    let client = Rc::clone(&cluster.clients[0]);
+    let server = Rc::clone(&cluster.servers[0]);
+    sim.run_until(async move {
+        server.close();
+        let err = client
+            .set(b("k"), b("v"), 0, None)
+            .await
+            .expect_err("set against a closed server must fail");
+        assert_eq!(err, ClientError::TimedOut);
+        assert_eq!(client.outstanding(), 0, "the failed attempt is reaped");
+    });
 }
 
 #[test]

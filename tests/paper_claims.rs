@@ -128,9 +128,21 @@ fn overlap_asymmetries() {
     let b_wh = run(Design::HRdmaOptNonBB, nofit(), OpMix::WRITE_HEAVY, 400);
 
     assert!(block.overlap_pct < 5.0, "blocking: {}", block.overlap_pct);
-    assert!(i_ro.overlap_pct > 60.0, "NonB-i read-only: {}", i_ro.overlap_pct);
-    assert!(b_ro.overlap_pct > 60.0, "NonB-b read-only: {}", b_ro.overlap_pct);
-    assert!(i_wh.overlap_pct > 60.0, "NonB-i write-heavy: {}", i_wh.overlap_pct);
+    assert!(
+        i_ro.overlap_pct > 60.0,
+        "NonB-i read-only: {}",
+        i_ro.overlap_pct
+    );
+    assert!(
+        b_ro.overlap_pct > 60.0,
+        "NonB-b read-only: {}",
+        b_ro.overlap_pct
+    );
+    assert!(
+        i_wh.overlap_pct > 60.0,
+        "NonB-i write-heavy: {}",
+        i_wh.overlap_pct
+    );
     assert!(
         b_wh.overlap_pct < 30.0,
         "NonB-b write-heavy must collapse (bset waits for buffer reuse): {}",

@@ -1,0 +1,311 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` stub. No `syn`/`quote`: the input token stream is
+//! walked directly, which is enough for the shapes this workspace
+//! derives on — plain structs with named fields, and enums whose
+//! variants are unit, named-field, or single-element tuple ("newtype").
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+enum Body {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Newtype,
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+/// Split a token list on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments don't split (`HashMap<K, V>`).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from a token segment.
+fn strip_attrs_and_vis(seg: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < seg.len() {
+        match &seg[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = seg.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &seg[i..]
+}
+
+/// Field names from the brace group of a struct or named-field variant.
+fn named_field_names(group: &Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(&tokens)
+        .iter()
+        .filter_map(|seg| {
+            let seg = strip_attrs_and_vis(seg);
+            match seg.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                i += 1;
+                break id.to_string();
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive stub: no struct/enum keyword found"),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive stub: expected type name"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (type {name})");
+    }
+    let body_group = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(_) => i += 1,
+            None => panic!("serde_derive stub: {name} has no braced body (tuple/unit structs unsupported)"),
+        }
+    };
+    let body = if kind == "struct" {
+        Body::Struct(named_field_names(&body_group))
+    } else {
+        let tokens: Vec<TokenTree> = body_group.stream().into_iter().collect();
+        let variants = split_commas(&tokens)
+            .iter()
+            .filter_map(|seg| {
+                let seg = strip_attrs_and_vis(seg);
+                let vname = match seg.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => return None,
+                };
+                let fields = match seg.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        VariantFields::Named(named_field_names(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        let n = split_commas(&inner).len();
+                        if n != 1 {
+                            panic!(
+                                "serde_derive stub: tuple variant {name}::{vname} must have exactly one field"
+                            );
+                        }
+                        VariantFields::Newtype
+                    }
+                    _ => VariantFields::Unit,
+                };
+                Some(Variant { name: vname, fields })
+            })
+            .collect();
+        Body::Enum(variants)
+    };
+    Input { name, body }
+}
+
+/// `#[derive(Serialize)]`
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, body } = parse_input(input);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_json_value(&self) -> ::serde::Value {{ "
+    );
+    match &body {
+        Body::Struct(fields) => {
+            let _ = write!(out, "::serde::Value::Object(vec![");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json_value(&self.{f})),"
+                );
+            }
+            let _ = write!(out, "])");
+        }
+        Body::Enum(variants) => {
+            let _ = write!(out, "match self {{");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantFields::Newtype => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn}(inner) => ::serde::Value::Object(vec![\
+                               (::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_json_value(inner))]),"
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let pats = fields.join(", ");
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} {{ {pats} }} => ::serde::Value::Object(vec![\
+                               (::std::string::String::from(\"{vn}\"), ::serde::Value::Object(vec!["
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json_value({f})),"
+                            );
+                        }
+                        let _ = write!(out, "]))]),");
+                    }
+                }
+            }
+            let _ = write!(out, "}}");
+        }
+    }
+    let _ = write!(out, " }} }}");
+    out.parse().expect("serde_derive stub: generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, body } = parse_input(input);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ "
+    );
+    match &body {
+        Body::Struct(fields) => {
+            let _ = write!(
+                out,
+                "if v.as_object().is_none() {{ \
+                   return ::std::result::Result::Err(::serde::DeError::new(\"expected object for {name}\")); }} \
+                 ::std::result::Result::Ok({name} {{"
+            );
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "{f}: ::serde::Deserialize::from_json_value(\
+                       v.get(\"{f}\").ok_or_else(|| ::serde::DeError::new(\"missing field {f} in {name}\"))?)?,"
+                );
+            }
+            let _ = write!(out, "}})");
+        }
+        Body::Enum(variants) => {
+            let _ = write!(out, "match v {{ ::serde::Value::Str(s) => match s.as_str() {{");
+            for v in variants {
+                if matches!(v.fields, VariantFields::Unit) {
+                    let vn = &v.name;
+                    let _ = write!(out, "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),");
+                }
+            }
+            let _ = write!(
+                out,
+                "other => ::std::result::Result::Err(::serde::DeError::new(\
+                   format!(\"unknown unit variant {{other}} for {name}\"))), }}, \
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+                   let (tag, inner) = &entries[0]; \
+                   match tag.as_str() {{"
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {}
+                    VariantFields::Newtype => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                               ::serde::Deserialize::from_json_value(inner)?)),"
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let _ = write!(out, "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{");
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "{f}: ::serde::Deserialize::from_json_value(\
+                                   inner.get(\"{f}\").ok_or_else(|| ::serde::DeError::new(\
+                                     \"missing field {f} in {name}::{vn}\"))?)?,"
+                            );
+                        }
+                        let _ = write!(out, "}}),");
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "other => ::std::result::Result::Err(::serde::DeError::new(\
+                   format!(\"unknown variant {{other}} for {name}\"))), }} }}, \
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\"expected variant for {name}\")), }}"
+            );
+        }
+    }
+    let _ = write!(out, " }} }}");
+    out.parse().expect("serde_derive stub: generated Deserialize impl parses")
+}
