@@ -1,6 +1,8 @@
-//! Regenerate every table and figure in sequence.
+//! Regenerate every table and figure in sequence, one manifest per bench.
 
-type FigureFn = fn() -> Vec<nbkv_bench::table::Table>;
+use nbkv_bench::manifest::Manifest;
+
+type FigureFn = fn(&mut Manifest) -> Vec<nbkv_bench::table::Table>;
 
 fn main() {
     nbkv_bench::figs::banner("all");
@@ -15,11 +17,14 @@ fn main() {
         ("fig7c", nbkv_bench::figs::fig7c::run),
         ("fig8a", nbkv_bench::figs::fig8a::run),
         ("fig8b", nbkv_bench::figs::fig8b::run),
+        ("phases", nbkv_bench::figs::phases::run),
     ];
     for (name, run) in figures {
         eprintln!("[all] running {name} ...");
-        for t in run() {
+        let mut m = Manifest::new(name);
+        for t in run(&mut m) {
             t.emit();
         }
+        m.emit();
     }
 }

@@ -2,7 +2,9 @@
 
 fn main() {
     nbkv_bench::figs::banner("fig1");
-    for t in nbkv_bench::figs::fig1::run() {
+    let mut m = nbkv_bench::manifest::Manifest::new("fig1");
+    for t in nbkv_bench::figs::fig1::run(&mut m) {
         t.emit();
     }
+    m.emit();
 }

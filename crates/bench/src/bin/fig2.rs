@@ -2,7 +2,9 @@
 
 fn main() {
     nbkv_bench::figs::banner("fig2");
-    for t in nbkv_bench::figs::fig2::run() {
+    let mut m = nbkv_bench::manifest::Manifest::new("fig2");
+    for t in nbkv_bench::figs::fig2::run(&mut m) {
         t.emit();
     }
+    m.emit();
 }

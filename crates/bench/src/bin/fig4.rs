@@ -2,7 +2,9 @@
 
 fn main() {
     nbkv_bench::figs::banner("fig4");
-    for t in nbkv_bench::figs::fig4::run() {
+    let mut m = nbkv_bench::manifest::Manifest::new("fig4");
+    for t in nbkv_bench::figs::fig4::run(&mut m) {
         t.emit();
     }
+    m.emit();
 }

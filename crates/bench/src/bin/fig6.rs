@@ -2,7 +2,9 @@
 
 fn main() {
     nbkv_bench::figs::banner("fig6");
-    for t in nbkv_bench::figs::fig6::run() {
+    let mut m = nbkv_bench::manifest::Manifest::new("fig6");
+    for t in nbkv_bench::figs::fig6::run(&mut m) {
         t.emit();
     }
+    m.emit();
 }

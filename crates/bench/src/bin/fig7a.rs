@@ -2,7 +2,9 @@
 
 fn main() {
     nbkv_bench::figs::banner("fig7a");
-    for t in nbkv_bench::figs::fig7a::run() {
+    let mut m = nbkv_bench::manifest::Manifest::new("fig7a");
+    for t in nbkv_bench::figs::fig7a::run(&mut m) {
         t.emit();
     }
+    m.emit();
 }

@@ -2,7 +2,9 @@
 
 fn main() {
     nbkv_bench::figs::banner("fig7b");
-    for t in nbkv_bench::figs::fig7b::run() {
+    let mut m = nbkv_bench::manifest::Manifest::new("fig7b");
+    for t in nbkv_bench::figs::fig7b::run(&mut m) {
         t.emit();
     }
+    m.emit();
 }

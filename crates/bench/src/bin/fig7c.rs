@@ -2,7 +2,9 @@
 
 fn main() {
     nbkv_bench::figs::banner("fig7c");
-    for t in nbkv_bench::figs::fig7c::run() {
+    let mut m = nbkv_bench::manifest::Manifest::new("fig7c");
+    for t in nbkv_bench::figs::fig7c::run(&mut m) {
         t.emit();
     }
+    m.emit();
 }

@@ -2,7 +2,9 @@
 
 fn main() {
     nbkv_bench::figs::banner("fig8a");
-    for t in nbkv_bench::figs::fig8a::run() {
+    let mut m = nbkv_bench::manifest::Manifest::new("fig8a");
+    for t in nbkv_bench::figs::fig8a::run(&mut m) {
         t.emit();
     }
+    m.emit();
 }

@@ -2,7 +2,9 @@
 
 fn main() {
     nbkv_bench::figs::banner("fig8b");
-    for t in nbkv_bench::figs::fig8b::run() {
+    let mut m = nbkv_bench::manifest::Manifest::new("fig8b");
+    for t in nbkv_bench::figs::fig8b::run(&mut m) {
         t.emit();
     }
+    m.emit();
 }

@@ -1,0 +1,10 @@
+//! Per-phase request-lifecycle breakdown (observability layer).
+
+fn main() {
+    nbkv_bench::figs::banner("phases");
+    let mut m = nbkv_bench::manifest::Manifest::new("phases");
+    for t in nbkv_bench::figs::phases::run(&mut m) {
+        t.emit();
+    }
+    m.emit();
+}

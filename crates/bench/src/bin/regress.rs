@@ -1,0 +1,189 @@
+//! Deterministic regression bench: small, fixed-scale runs whose figure
+//! JSON and manifest are diffed against committed goldens by
+//! `scripts/regress.sh`.
+//!
+//! Everything here is pinned — sizes, ops, seeds, fault schedules — and
+//! independent of `NBKV_SCALE`, so the outputs are byte-identical across
+//! runs of the same tree. Raw nanosecond values are reported (no
+//! microsecond rounding) so even one-tick model drift fails the gate.
+
+use std::time::Duration;
+
+use nbkv_bench::exp::LatencyExp;
+use nbkv_bench::manifest::Manifest;
+use nbkv_bench::table::Table;
+use nbkv_core::cluster::{ChaosConfig, ClusterConfig};
+use nbkv_core::designs::Design;
+use nbkv_core::ResiliencePolicy;
+use nbkv_fabric::FaultPlan;
+use nbkv_workload::RunReport;
+
+const MEM: u64 = 8 << 20;
+const DATA: u64 = 12 << 20;
+const OPS: usize = 600;
+
+/// Pinned small experiment. Keeps the 32 KiB default value size: the
+/// measured write-heavy phase must allocate enough to trigger eviction
+/// flushes, or the phase gate would never see the overlap signal.
+fn small_exp(design: Design) -> LatencyExp {
+    let mut exp = LatencyExp::single(design, MEM, DATA);
+    exp.ops_per_client = OPS;
+    exp
+}
+
+/// All six designs at the pinned small scale: exact latencies + counters.
+fn regress_latency(m: &mut Manifest) -> Table {
+    let mut t = Table::new(
+        "regress_latency",
+        "Regression: exact per-design latency (ns), pinned small scale",
+        &[
+            "design",
+            "mean (ns)",
+            "p99 (ns)",
+            "hits",
+            "misses",
+            "ssd hits",
+        ],
+    );
+    for design in Design::ALL {
+        let (r, cluster_reg) = small_exp(design).run_obs();
+        let reg = m.record_report(&format!("latency/{}", design.label()), &r);
+        reg.merge(&cluster_reg);
+        t.row(vec![
+            design.label().to_string(),
+            r.mean_latency_ns.to_string(),
+            r.p99_latency_ns.to_string(),
+            r.hits.to_string(),
+            r.misses.to_string(),
+            r.ssd_hits.to_string(),
+        ]);
+    }
+    t.note("pinned: 8 MiB memory, 12 MiB data, 32 KiB values, 600 ops, seed 42; NBKV_SCALE does not apply.");
+    t
+}
+
+/// Phase decomposition for the blocking vs non-blocking hybrid designs —
+/// guards the lifecycle-stamp plumbing and the eviction-overlap signal.
+fn regress_phases(m: &mut Manifest) -> Table {
+    let mut t = Table::new(
+        "regress_phases",
+        "Regression: exact phase p50/p99 (ns) and eviction overlap, pinned small scale",
+        &[
+            "design",
+            "comm-in p50",
+            "dispatch p50",
+            "store p50",
+            "comm-out p50",
+            "e2e p99",
+            "evict-overlap ppm",
+        ],
+    );
+    for design in [Design::HRdmaOptBlock, Design::HRdmaOptNonBI] {
+        let (r, cluster_reg) = small_exp(design).run_obs();
+        let reg = m.record_report(&format!("phases/{}", design.label()), &r);
+        reg.merge(&cluster_reg);
+        let p = &r.phases;
+        t.row(vec![
+            design.label().to_string(),
+            p.comm_in.p50().to_string(),
+            p.dispatch.p50().to_string(),
+            p.store.p50().to_string(),
+            p.comm_out.p50().to_string(),
+            p.e2e.p99().to_string(),
+            p.eviction_overlap_ppm().to_string(),
+        ]);
+    }
+    t.note("phases sum exactly to end-to-end latency; the non-blocking design must show a non-zero eviction-overlap ratio.");
+    t
+}
+
+/// A small deterministic chaos run — guards the fault-injection and
+/// resilience counters.
+fn regress_resilience(m: &mut Manifest) -> Table {
+    let mut t = Table::new(
+        "regress_resilience",
+        "Regression: goodput under a pinned fault schedule (0.5% drop)",
+        &["design", "ops", "failed", "timed out", "retries"],
+    );
+    for design in [Design::RdmaMem, Design::HRdmaOptNonBI] {
+        let mut exp = small_exp(design);
+        exp.ops_per_client = 300;
+        let (r, cluster_reg) = run_chaos(&exp);
+        let reg = m.record_report(&format!("resilience/{}", design.label()), &r);
+        reg.merge(&cluster_reg);
+        let retries = cluster_reg.counter("client.retries");
+        t.row(vec![
+            design.label().to_string(),
+            r.ops.to_string(),
+            r.failed_ops.to_string(),
+            r.timed_out_ops.to_string(),
+            retries.to_string(),
+        ]);
+    }
+    t.note("pinned fault schedule: 0.5% message drop both directions, seed 7; deadline + retry absorb the losses.");
+    t
+}
+
+fn run_chaos(exp: &LatencyExp) -> (RunReport, nbkv_obs::Registry) {
+    // Rebuild the experiment with chaos + a deadline so drops cannot hang.
+    use nbkv_core::cluster::build_cluster;
+    use nbkv_simrt::Sim;
+    use nbkv_workload::{preload, run_workload, AccessPattern, OpMix, WorkloadSpec};
+    use std::rc::Rc;
+
+    let sim = Sim::new();
+    let mut cfg = ClusterConfig::new(exp.design, exp.mem_bytes);
+    cfg.ssd_capacity = exp.ssd_capacity;
+    cfg.client.resilience = ResiliencePolicy {
+        deadline: Some(Duration::from_millis(5)),
+        backoff_base: Duration::from_micros(50),
+        backoff_cap: Duration::from_millis(2),
+        ..ResiliencePolicy::default()
+    };
+    cfg.chaos = ChaosConfig {
+        seed: 7,
+        link_faults: Some(FaultPlan::drops(7, 0.005)),
+        ssd_faults: None,
+        crashes: Vec::new(),
+    };
+    let cluster = build_cluster(&sim, &cfg);
+    let client = Rc::clone(&cluster.clients[0]);
+    let keys = exp.keys();
+    let value_len = exp.value_len;
+    let ops = exp.ops_per_client;
+    let flavor = exp.design.flavor();
+    let sim2 = sim.clone();
+    let report = sim.run_until(async move {
+        preload(&client, keys, value_len).await;
+        let spec = WorkloadSpec {
+            keys,
+            value_len,
+            pattern: AccessPattern::Zipf(0.99),
+            mix: OpMix::WRITE_HEAVY,
+            ops,
+            flavor,
+            window: 32,
+            seed: 42,
+            miss_penalty: nbkv_workload::BackendDb::default_penalty(),
+            recache_on_miss: true,
+        };
+        run_workload(&sim2, &client, &spec).await
+    });
+    let registry = nbkv_bench::exp::cluster_registry(&cluster);
+    sim.shutdown();
+    (report, registry)
+}
+
+fn main() {
+    nbkv_bench::figs::banner("regress");
+    // Fixed scale/seed: the manifest must not vary with the environment.
+    let mut m = Manifest::new_fixed("regress", 1.0, 42);
+    for t in [
+        regress_latency(&mut m),
+        regress_phases(&mut m),
+        regress_resilience(&mut m),
+    ] {
+        t.emit();
+    }
+    m.emit();
+}

@@ -18,6 +18,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
+use nbkv_bench::manifest::Manifest;
 use nbkv_bench::table::Table;
 use nbkv_core::cluster::{build_cluster, ClusterConfig};
 use nbkv_core::designs::Design;
@@ -45,6 +46,7 @@ struct ChaosOutcome {
     msgs_lost: u64,
     breaker_trips: u64,
     recovered_items: u64,
+    registry: nbkv_obs::Registry,
 }
 
 /// Decorrelate per-link seeds from a base seed (splitmix-style mix).
@@ -121,6 +123,7 @@ fn run_design(design: Design, seed: u64) -> ChaosOutcome {
         msgs_lost: cluster.fabric_fault_stats().total_lost(),
         breaker_trips: cluster.clients.iter().map(|c| c.breaker_trips()).sum(),
         recovered_items: cluster.servers[0].store().stats().recovered_items,
+        registry: nbkv_bench::exp::cluster_registry(&cluster),
     };
     sim.shutdown();
     outcome
@@ -128,6 +131,7 @@ fn run_design(design: Design, seed: u64) -> ChaosOutcome {
 
 fn main() {
     nbkv_bench::figs::banner("resilience");
+    let mut m = Manifest::new("resilience");
     let mut t = Table::new(
         "resilience",
         "Goodput and p99 under chaos (1% drop, 50 ms link outage, server crash + warm restart)",
@@ -144,6 +148,11 @@ fn main() {
     );
     for design in Design::ALL {
         let o = run_design(design, 0xC4A0_5EED);
+        let reg = m.record_report(design.label(), &o.report);
+        reg.merge(&o.registry);
+        reg.set_counter("msgs_lost", o.msgs_lost);
+        reg.set_counter("breaker_trips", o.breaker_trips);
+        reg.set_counter("recovered_items", o.recovered_items);
         t.row(vec![
             design.label().to_string(),
             format!("{:.0}", o.report.goodput_ops_per_sec()),
@@ -165,4 +174,5 @@ fn main() {
          recover items from SSD after the crash, in-memory designs restart empty.",
     );
     t.emit();
+    m.emit();
 }

@@ -3,11 +3,12 @@
 //! paper's Figure 7(c) scalability story).
 
 use nbkv_bench::exp::{scaled_bytes, scaled_ops, LatencyExp};
+use nbkv_bench::manifest::Manifest;
 use nbkv_bench::table::Table;
 use nbkv_core::designs::Design;
-use nbkv_workload::OpMix;
+use nbkv_workload::{OpMix, RunReport};
 
-fn throughput(design: Design, servers: usize) -> f64 {
+fn run_point(design: Design, servers: usize) -> RunReport {
     let agg_mem = scaled_bytes(1 << 30);
     LatencyExp {
         design,
@@ -23,11 +24,11 @@ fn throughput(design: Design, servers: usize) -> f64 {
         ssd_capacity: 4 * agg_mem / servers as u64,
     }
     .run()
-    .throughput_ops_per_sec()
 }
 
 fn main() {
     nbkv_bench::figs::banner("scaling");
+    let mut m = Manifest::new("scaling");
     let mut t = Table::new(
         "scaling",
         "Aggregated throughput (ops/s) vs server count, 32 clients, 8 KiB kv",
@@ -40,8 +41,18 @@ fn main() {
     );
     let mut base_nonb = 0.0;
     for servers in [1usize, 2, 4, 8] {
-        let block = throughput(Design::HRdmaOptBlock, servers);
-        let nonb = throughput(Design::HRdmaOptNonBI, servers);
+        let block_r = run_point(Design::HRdmaOptBlock, servers);
+        let nonb_r = run_point(Design::HRdmaOptNonBI, servers);
+        m.record_report(
+            &format!("s{servers}/{}", Design::HRdmaOptBlock.label()),
+            &block_r,
+        );
+        m.record_report(
+            &format!("s{servers}/{}", Design::HRdmaOptNonBI.label()),
+            &nonb_r,
+        );
+        let block = block_r.throughput_ops_per_sec();
+        let nonb = nonb_r.throughput_ops_per_sec();
         if servers == 1 {
             base_nonb = nonb;
         }
@@ -54,4 +65,5 @@ fn main() {
     }
     t.note("expected: throughput grows with server count (the paper's underlying scalability premise); non-blocking keeps its advantage at every size.");
     t.emit();
+    m.emit();
 }

@@ -8,6 +8,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use nbkv_bench::exp::{scaled_bytes, scaled_ops};
+use nbkv_bench::manifest::Manifest;
 use nbkv_bench::table::{us, Table};
 use nbkv_core::cluster::{build_cluster, ClusterConfig};
 use nbkv_core::designs::Design;
@@ -52,8 +53,12 @@ fn run_one(design: Design, mutate: &dyn Fn(&mut ClusterConfig)) -> u64 {
     out
 }
 
-fn sweep(t: &mut Table, label: &str, mutate: &dyn Fn(&mut ClusterConfig)) {
+fn sweep(t: &mut Table, m: &mut Manifest, label: &str, mutate: &dyn Fn(&mut ClusterConfig)) {
     let cells: Vec<u64> = DESIGNS.iter().map(|&d| run_one(d, mutate)).collect();
+    let reg = m.section(label);
+    for (d, ns) in DESIGNS.iter().zip(&cells) {
+        reg.set_counter(&format!("{}_mean_latency_ns", d.label()), *ns);
+    }
     let ordering_holds = cells[0] > cells[1] && cells[1] > cells[2];
     t.row(vec![
         label.to_string(),
@@ -66,6 +71,7 @@ fn sweep(t: &mut Table, label: &str, mutate: &dyn Fn(&mut ClusterConfig)) {
 
 fn main() {
     nbkv_bench::figs::banner("sensitivity");
+    let mut m = Manifest::new("sensitivity");
     let mut t = Table::new(
         "sensitivity",
         "Headline ordering under calibration-knob sweeps (avg latency, us; data > memory)",
@@ -78,30 +84,35 @@ fn main() {
         ],
     );
 
-    sweep(&mut t, "baseline", &|_| {});
+    sweep(&mut t, &mut m, "baseline", &|_| {});
 
     // Network jitter on every link.
     for jitter_us in [5u64, 20] {
-        sweep(&mut t, &format!("link jitter {jitter_us}us"), &move |cfg| {
-            let mut profile = cfg.design.fabric_profile();
-            profile.link = profile.link.with_jitter(Duration::from_micros(jitter_us));
-            cfg.fabric_override = Some(profile);
-        });
+        sweep(
+            &mut t,
+            &mut m,
+            &format!("link jitter {jitter_us}us"),
+            &move |cfg| {
+                let mut profile = cfg.design.fabric_profile();
+                profile.link = profile.link.with_jitter(Duration::from_micros(jitter_us));
+                cfg.fabric_override = Some(profile);
+            },
+        );
     }
 
     // Flash garbage collection enabled (heavy: 1 ms stall per 16 MiB).
-    sweep(&mut t, "SSD GC 1ms/16MiB", &|cfg| {
+    sweep(&mut t, &mut m, "SSD GC 1ms/16MiB", &|cfg| {
         cfg.device = cfg.device.with_gc(16 << 20, Duration::from_millis(1));
     });
 
     // Sync-write penalty halved / doubled.
-    sweep(&mut t, "sync penalty x2 (8x)", &|cfg| {
+    sweep(&mut t, &mut m, "sync penalty x2 (8x)", &|cfg| {
         cfg.device = DeviceProfile {
             sync_write_multiplier: 8.0,
             ..cfg.device
         };
     });
-    sweep(&mut t, "sync penalty off (1x)", &|cfg| {
+    sweep(&mut t, &mut m, "sync penalty off (1x)", &|cfg| {
         cfg.device = DeviceProfile {
             sync_write_multiplier: 1.0,
             ..cfg.device
@@ -109,13 +120,14 @@ fn main() {
     });
 
     // OS cache small and large.
-    sweep(&mut t, "os cache = 1x mem", &|cfg| {
+    sweep(&mut t, &mut m, "os cache = 1x mem", &|cfg| {
         cfg.os_cache_bytes = cfg.server_mem_bytes;
     });
-    sweep(&mut t, "os cache = 16x mem", &|cfg| {
+    sweep(&mut t, &mut m, "os cache = 16x mem", &|cfg| {
         cfg.os_cache_bytes = 16 * cfg.server_mem_bytes;
     });
 
     t.note("the paper's ordering must hold in every row; magnitudes legitimately shift with the knobs.");
     t.emit();
+    m.emit();
 }

@@ -1,8 +1,10 @@
-//! Regenerate table1 of the paper.
+//! Regenerate Table I of the paper.
 
 fn main() {
     nbkv_bench::figs::banner("table1");
-    for t in nbkv_bench::figs::table1::run() {
+    let mut m = nbkv_bench::manifest::Manifest::new("table1");
+    for t in nbkv_bench::figs::table1::run(&mut m) {
         t.emit();
     }
+    m.emit();
 }

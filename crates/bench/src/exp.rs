@@ -4,6 +4,7 @@ use std::rc::Rc;
 
 use nbkv_core::cluster::{build_cluster, Cluster, ClusterConfig};
 use nbkv_core::designs::Design;
+use nbkv_obs::Registry;
 use nbkv_simrt::{join_all, Sim};
 use nbkv_storesim::DeviceProfile;
 use nbkv_workload::{preload, run_workload, AccessPattern, OpMix, RunReport, WorkloadSpec};
@@ -96,6 +97,13 @@ impl LatencyExp {
 
     /// Build, preload, run, and merge per-client reports.
     pub fn run(&self) -> RunReport {
+        self.run_obs().0
+    }
+
+    /// Like [`run`](Self::run), but also snapshot every layer's counters
+    /// (server pipeline, store, slab I/O, clients, fabric links) into a
+    /// metrics registry before the cluster is torn down.
+    pub fn run_obs(&self) -> (RunReport, Registry) {
         let sim = Sim::new();
         let cluster: Cluster = build_cluster(&sim, &self.cluster_config());
         let keys = self.keys();
@@ -132,11 +140,70 @@ impl LatencyExp {
             let reports = join_all(tasks).await;
             RunReport::merge(&reports)
         });
+        let registry = cluster_registry(&cluster);
         // Break the world->task->server->Sim reference cycle so repeated
         // experiments in one process release their memory.
         sim.shutdown();
-        report
+        (report, registry)
     }
+}
+
+/// Snapshot a finished cluster's counters into a metrics registry:
+/// server request-pipeline counters, storage-engine counters, slab-I/O
+/// mode/stall accounting, client resilience counters (including the
+/// send-window high-water mark and circuit-breaker trips), and fabric
+/// link traffic. Counters sum across nodes; gauges take the max.
+pub fn cluster_registry(cluster: &Cluster) -> Registry {
+    let mut reg = Registry::new();
+    for s in &cluster.servers {
+        let st = s.stats();
+        reg.inc("server.requests", st.requests);
+        reg.inc("server.inline_handled", st.inline_handled);
+        reg.inc("server.staged", st.staged);
+        reg.inc("server.responses", st.responses);
+        reg.inc("server.proto_errors", st.proto_errors);
+        reg.inc("server.recv_during_flush", st.recv_during_flush);
+        let ss = s.store().stats();
+        reg.inc("store.sets", ss.sets);
+        reg.inc("store.get_hits_ram", ss.get_hits_ram);
+        reg.inc("store.get_hits_ssd", ss.get_hits_ssd);
+        reg.inc("store.get_misses", ss.get_misses);
+        reg.inc("store.deletes", ss.deletes);
+        reg.inc("store.flushed_pages", ss.flushed_pages);
+        reg.inc("store.async_flushes", ss.async_flushes);
+        reg.inc("store.evicted_items", ss.evicted_items);
+        reg.inc("store.promotes", ss.promotes);
+        reg.inc("store.inflight_hits", ss.inflight_hits);
+        if let Some(io) = s.store().slab_io() {
+            let io = io.io_stats();
+            reg.inc("slab_io.reads", io.reads);
+            reg.inc("slab_io.writes", io.writes);
+            reg.inc("slab_io.read_bytes", io.read_bytes);
+            reg.inc("slab_io.write_bytes", io.write_bytes);
+            reg.inc("slab_io.direct_ops", io.direct_ops);
+            reg.inc("slab_io.cached_ops", io.cached_ops);
+            reg.inc("slab_io.mmap_ops", io.mmap_ops);
+            reg.inc("slab_io.stall_ns", io.stall_ns);
+        }
+    }
+    for c in &cluster.clients {
+        let st = c.stats();
+        reg.inc("client.issued", st.issued);
+        reg.inc("client.completed", st.completed);
+        reg.inc("client.orphans", st.orphans);
+        reg.inc("client.timeouts", st.timeouts);
+        reg.inc("client.retries", st.retries);
+        reg.inc("client.hedges", st.hedges);
+        reg.inc("client.breaker_rejections", st.breaker_rejections);
+        reg.inc("client.breaker_trips", c.breaker_trips());
+        reg.gauge_max("client.window_hwm", st.window_hwm as i64);
+    }
+    for l in &cluster.links {
+        let st = l.stats();
+        reg.inc("fabric.messages", st.messages);
+        reg.inc("fabric.bytes", st.bytes);
+    }
+    reg
 }
 
 #[cfg(test)]

@@ -4,11 +4,12 @@
 use nbkv_core::designs::Design;
 
 use crate::figs::fig1::run_case;
+use crate::manifest::Manifest;
 use crate::table::{us_f, Table};
 
 const DESIGNS: [Design; 3] = [Design::IpoibMem, Design::RdmaMem, Design::HRdmaDef];
 
-fn case_table(id: &str, title: &str, fits: bool) -> Table {
+fn case_table(m: &mut Manifest, id: &str, title: &str, fits: bool) -> Table {
     let mut t = Table::new(
         id,
         title,
@@ -25,6 +26,7 @@ fn case_table(id: &str, title: &str, fits: bool) -> Table {
     );
     for design in DESIGNS {
         let r = run_case(design, fits);
+        m.record_report(&format!("{id}/{}", design.label()), &r);
         let b = r.breakdown;
         t.row(vec![
             design.label().to_string(),
@@ -46,9 +48,9 @@ fn case_table(id: &str, title: &str, fits: bool) -> Table {
 }
 
 /// Regenerate both panels.
-pub fn run() -> Vec<Table> {
+pub fn run(m: &mut Manifest) -> Vec<Table> {
     vec![
-        case_table("fig2a", "Stage breakdown, data fits in memory", true),
-        case_table("fig2b", "Stage breakdown, data does NOT fit", false),
+        case_table(m, "fig2a", "Stage breakdown, data fits in memory", true),
+        case_table(m, "fig2b", "Stage breakdown, data does NOT fit", false),
     ]
 }

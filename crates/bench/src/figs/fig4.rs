@@ -4,6 +4,7 @@
 use nbkv_simrt::Sim;
 use nbkv_storesim::{sata_ssd, HostModel, IoScheme, SlabIo, SlabIoConfig, SsdDevice};
 
+use crate::manifest::Manifest;
 use crate::table::Table;
 
 /// Cost of one synchronous write of `len` bytes through `scheme` (fresh
@@ -27,7 +28,7 @@ pub fn sync_write_cost_ns(scheme: IoScheme, len: usize) -> u64 {
 }
 
 /// Regenerate the scheme-vs-size sweep.
-pub fn run() -> Vec<Table> {
+pub fn run(m: &mut Manifest) -> Vec<Table> {
     let mut t = Table::new(
         "fig4",
         "Synchronous eviction cost by I/O scheme (SATA SSD, us)",
@@ -43,6 +44,10 @@ pub fn run() -> Vec<Table> {
         let direct = sync_write_cost_ns(IoScheme::Direct, len);
         let cached = sync_write_cost_ns(IoScheme::Cached, len);
         let mmap = sync_write_cost_ns(IoScheme::Mmap, len);
+        let reg = m.section(&format!("fig4/{label}"));
+        reg.set_counter("direct_ns", direct);
+        reg.set_counter("cached_ns", cached);
+        reg.set_counter("mmap_ns", mmap);
         let best = [(direct, "direct"), (cached, "cached"), (mmap, "mmap")]
             .into_iter()
             .min_by_key(|(ns, _)| *ns)

@@ -6,6 +6,7 @@ use nbkv_core::designs::Design;
 use nbkv_workload::RunReport;
 
 use crate::exp::{scaled_bytes, LatencyExp};
+use crate::manifest::Manifest;
 use crate::table::{ratio, us, us_f, Table};
 
 /// Run one Figure-6 case.
@@ -19,7 +20,7 @@ pub fn run_case(design: Design, fits: bool) -> RunReport {
     LatencyExp::single(design, mem_bytes, data_bytes).run()
 }
 
-fn case_table(id: &str, title: &str, fits: bool) -> Table {
+fn case_table(m: &mut Manifest, id: &str, title: &str, fits: bool) -> Table {
     let mut t = Table::new(
         id,
         title,
@@ -37,6 +38,7 @@ fn case_table(id: &str, title: &str, fits: bool) -> Table {
     let mut lat: Vec<(Design, f64)> = Vec::new();
     for design in Design::ALL {
         let r = run_case(design, fits);
+        m.record_report(&format!("{id}/{}", design.label()), &r);
         let b = r.breakdown;
         lat.push((design, r.mean_latency_ns as f64));
         t.row(vec![
@@ -79,9 +81,9 @@ fn case_table(id: &str, title: &str, fits: bool) -> Table {
 }
 
 /// Regenerate both panels.
-pub fn run() -> Vec<Table> {
+pub fn run(m: &mut Manifest) -> Vec<Table> {
     vec![
-        case_table("fig6a", "All designs, data fits in memory", true),
-        case_table("fig6b", "All designs, data does NOT fit", false),
+        case_table(m, "fig6a", "All designs, data fits in memory", true),
+        case_table(m, "fig6b", "All designs, data does NOT fit", false),
     ]
 }

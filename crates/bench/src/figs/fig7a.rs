@@ -2,21 +2,27 @@
 //! blocking and non-blocking APIs, for read-only and write-heavy mixes.
 
 use nbkv_core::designs::Design;
-use nbkv_workload::OpMix;
+use nbkv_workload::{OpMix, RunReport};
 
 use crate::exp::{scaled_bytes, LatencyExp};
+use crate::manifest::Manifest;
 use crate::table::Table;
 
-/// Measure overlap% for a design and mix (hybrid server, data > memory).
-pub fn overlap_pct(design: Design, mix: OpMix) -> f64 {
+/// Run one (design, mix) case (hybrid server, data > memory).
+pub fn run_mix(design: Design, mix: OpMix) -> RunReport {
     let mem = scaled_bytes(1 << 30);
     let mut exp = LatencyExp::single(design, mem, mem + mem / 2);
     exp.mix = mix;
-    exp.run().overlap_pct
+    exp.run()
+}
+
+/// Measure overlap% for a design and mix (hybrid server, data > memory).
+pub fn overlap_pct(design: Design, mix: OpMix) -> f64 {
+    run_mix(design, mix).overlap_pct
 }
 
 /// Regenerate the overlap table.
-pub fn run() -> Vec<Table> {
+pub fn run(m: &mut Manifest) -> Vec<Table> {
     let mut t = Table::new(
         "fig7a",
         "Overlap% available with different workload patterns (32 KiB kv, hybrid server)",
@@ -28,12 +34,14 @@ pub fn run() -> Vec<Table> {
         ("RDMA-NonB-b (bset/bget)", Design::HRdmaOptNonBB),
     ];
     for (label, design) in cases {
-        let ro = overlap_pct(design, OpMix::READ_ONLY);
-        let wh = overlap_pct(design, OpMix::WRITE_HEAVY);
+        let ro = run_mix(design, OpMix::READ_ONLY);
+        let wh = run_mix(design, OpMix::WRITE_HEAVY);
+        m.record_report(&format!("fig7a/{}/read-only", design.label()), &ro);
+        m.record_report(&format!("fig7a/{}/write-heavy", design.label()), &wh);
         t.row(vec![
             label.to_string(),
-            format!("{ro:.1}"),
-            format!("{wh:.1}"),
+            format!("{:.1}", ro.overlap_pct),
+            format!("{:.1}", wh.overlap_pct),
         ]);
     }
     t.note("paper Fig 7(a): NonB-i up to 92% for both mixes; NonB-b up to 89% read-only but <12% write-heavy (bset blocks for buffer reuse); blocking offers no overlap.");

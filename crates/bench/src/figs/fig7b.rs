@@ -2,8 +2,10 @@
 //! server, data larger than memory).
 
 use nbkv_core::designs::Design;
+use nbkv_workload::RunReport;
 
 use crate::exp::{scaled_bytes, LatencyExp};
+use crate::manifest::Manifest;
 use crate::table::{us, Table};
 
 const DESIGNS: [Design; 4] = [
@@ -13,16 +15,21 @@ const DESIGNS: [Design; 4] = [
     Design::HRdmaOptNonBI,
 ];
 
-/// Average latency for one (design, value size) cell.
-pub fn cell(design: Design, value_len: usize) -> u64 {
+/// Run one (design, value size) cell.
+pub fn cell_report(design: Design, value_len: usize) -> RunReport {
     let mem = scaled_bytes(1 << 30);
     let mut exp = LatencyExp::single(design, mem, mem + mem / 2);
     exp.value_len = value_len;
-    exp.run().mean_latency_ns
+    exp.run()
+}
+
+/// Average latency for one (design, value size) cell.
+pub fn cell(design: Design, value_len: usize) -> u64 {
+    cell_report(design, value_len).mean_latency_ns
 }
 
 /// Regenerate the size sweep.
-pub fn run() -> Vec<Table> {
+pub fn run(m: &mut Manifest) -> Vec<Table> {
     let mut t = Table::new(
         "fig7b",
         "Avg Set/Get latency (us) vs key-value size, data does NOT fit",
@@ -41,7 +48,14 @@ pub fn run() -> Vec<Table> {
         ("64 KiB", 64 << 10),
         ("128 KiB", 128 << 10),
     ] {
-        let cells: Vec<u64> = DESIGNS.iter().map(|&d| cell(d, len)).collect();
+        let cells: Vec<u64> = DESIGNS
+            .iter()
+            .map(|&d| {
+                let r = cell_report(d, len);
+                m.record_report(&format!("fig7b/{label}/{}", d.label()), &r);
+                r.mean_latency_ns
+            })
+            .collect();
         let gain = 100.0 * (1.0 - cells[3] as f64 / cells[1].max(1) as f64);
         t.row(vec![
             label.to_string(),

@@ -9,6 +9,7 @@ use nbkv_core::designs::Design;
 use nbkv_workload::RunReport;
 
 use crate::exp::{scaled_bytes, scaled_ops, LatencyExp};
+use crate::manifest::Manifest;
 use crate::table::{ratio, Table};
 
 const SERVERS: usize = 4;
@@ -36,7 +37,7 @@ pub fn run_design(design: Design) -> RunReport {
 }
 
 /// Regenerate the throughput table.
-pub fn run() -> Vec<Table> {
+pub fn run(m: &mut Manifest) -> Vec<Table> {
     let mut t = Table::new(
         "fig7c",
         "Aggregated throughput, 100 clients / 4 servers, 8 KiB kv, data = 2x memory",
@@ -51,6 +52,7 @@ pub fn run() -> Vec<Table> {
     let mut thr: Vec<(Design, f64)> = Vec::new();
     for design in designs {
         let r = run_design(design);
+        m.record_report(&format!("fig7c/{}", design.label()), &r);
         thr.push((design, r.throughput_ops_per_sec()));
         t.row(vec![
             design.label().to_string(),

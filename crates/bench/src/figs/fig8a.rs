@@ -3,9 +3,10 @@
 
 use nbkv_core::designs::Design;
 use nbkv_storesim::DeviceProfile;
-use nbkv_workload::OpMix;
+use nbkv_workload::{OpMix, RunReport};
 
 use crate::exp::{scaled_bytes, LatencyExp};
+use crate::manifest::Manifest;
 use crate::table::{us, Table};
 
 const DESIGNS: [Design; 4] = [
@@ -15,17 +16,22 @@ const DESIGNS: [Design; 4] = [
     Design::HRdmaOptNonBI,
 ];
 
-/// One (design, device, mix) cell: average latency in ns.
-pub fn cell(design: Design, device: DeviceProfile, mix: OpMix) -> u64 {
+/// Run one (design, device, mix) cell.
+pub fn cell_report(design: Design, device: DeviceProfile, mix: OpMix) -> RunReport {
     let mem = scaled_bytes(1 << 30);
     let mut exp = LatencyExp::single(design, mem, mem + mem / 2);
     exp.device = device;
     exp.mix = mix;
-    exp.run().mean_latency_ns
+    exp.run()
+}
+
+/// One (design, device, mix) cell: average latency in ns.
+pub fn cell(design: Design, device: DeviceProfile, mix: OpMix) -> u64 {
+    cell_report(design, device, mix).mean_latency_ns
 }
 
 /// Regenerate the SATA vs NVMe comparison.
-pub fn run() -> Vec<Table> {
+pub fn run(m: &mut Manifest) -> Vec<Table> {
     let mut t = Table::new(
         "fig8a",
         "Avg Set/Get latency (us): SATA vs NVMe SSD, read-only and write-heavy",
@@ -40,10 +46,23 @@ pub fn run() -> Vec<Table> {
     let mut sata_wh: Vec<(Design, u64)> = Vec::new();
     let mut nvme_wh: Vec<(Design, u64)> = Vec::new();
     for design in DESIGNS {
-        let s_ro = cell(design, nbkv_storesim::sata_ssd(), OpMix::READ_ONLY);
-        let s_wh = cell(design, nbkv_storesim::sata_ssd(), OpMix::WRITE_HEAVY);
-        let n_ro = cell(design, nbkv_storesim::nvme_p3700(), OpMix::READ_ONLY);
-        let n_wh = cell(design, nbkv_storesim::nvme_p3700(), OpMix::WRITE_HEAVY);
+        let mut cell_rec = |dev_label: &str, device, mix_label: &str, mix| -> u64 {
+            let r = cell_report(design, device, mix);
+            m.record_report(
+                &format!("fig8a/{dev_label}/{mix_label}/{}", design.label()),
+                &r,
+            );
+            r.mean_latency_ns
+        };
+        let s_ro = cell_rec("sata", nbkv_storesim::sata_ssd(), "ro", OpMix::READ_ONLY);
+        let s_wh = cell_rec("sata", nbkv_storesim::sata_ssd(), "wh", OpMix::WRITE_HEAVY);
+        let n_ro = cell_rec("nvme", nbkv_storesim::nvme_p3700(), "ro", OpMix::READ_ONLY);
+        let n_wh = cell_rec(
+            "nvme",
+            nbkv_storesim::nvme_p3700(),
+            "wh",
+            OpMix::WRITE_HEAVY,
+        );
         sata_wh.push((design, s_wh));
         nvme_wh.push((design, n_wh));
         t.row(vec![

@@ -14,6 +14,7 @@ use nbkv_storesim::DeviceProfile;
 use nbkv_workload::{run_bursty, BurstReport, BurstSpec};
 
 use crate::exp::scaled_bytes;
+use crate::manifest::Manifest;
 use crate::table::{us, Table};
 
 /// Run the bursty workload for one (design, device, block size) cell.
@@ -41,8 +42,16 @@ pub fn run_cell(design: Design, device: DeviceProfile, block_bytes: usize) -> Bu
     report
 }
 
+fn record_burst(m: &mut Manifest, label: &str, r: &BurstReport) {
+    let reg = m.section(label);
+    reg.set_counter("blocks", r.blocks as u64);
+    reg.set_counter("mean_write_block_ns", r.mean_write_block_ns);
+    reg.set_counter("mean_read_block_ns", r.mean_read_block_ns);
+    reg.set_counter("elapsed_ns", r.elapsed_ns);
+}
+
 /// Regenerate the bursty I/O comparison.
-pub fn run() -> Vec<Table> {
+pub fn run(m: &mut Manifest) -> Vec<Table> {
     let mut t = Table::new(
         "fig8b",
         "Bursty I/O: mean block write+read latency (us), 256 KiB chunks, 4 servers",
@@ -63,6 +72,12 @@ pub fn run() -> Vec<Table> {
         for (blk_label, block) in [("2 MiB", 2 << 20), ("16 MiB", 16 << 20)] {
             let blocking = run_cell(Design::HRdmaOptBlock, device, block);
             let nonb = run_cell(Design::HRdmaOptNonBI, device, block);
+            record_burst(
+                m,
+                &format!("fig8b/{dev_label}/{blk_label}/Opt-Block"),
+                &blocking,
+            );
+            record_burst(m, &format!("fig8b/{dev_label}/{blk_label}/NonB-i"), &nonb);
             let b_total = blocking.mean_write_block_ns + blocking.mean_read_block_ns;
             let n_total = nonb.mean_write_block_ns + nonb.mean_read_block_ns;
             let gain = 100.0 * (1.0 - n_total as f64 / b_total.max(1) as f64);

@@ -14,6 +14,7 @@ pub mod fig7b;
 pub mod fig7c;
 pub mod fig8a;
 pub mod fig8b;
+pub mod phases;
 pub mod table1;
 
 use crate::exp::scale_factor;

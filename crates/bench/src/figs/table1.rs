@@ -2,10 +2,12 @@
 
 use nbkv_core::designs::Design;
 
+use crate::manifest::Manifest;
 use crate::table::Table;
 
-/// Regenerate Table I as implemented by this reproduction.
-pub fn run() -> Vec<Table> {
+/// Regenerate Table I as implemented by this reproduction. Table I is a
+/// feature matrix with nothing measured, so the manifest stays empty.
+pub fn run(_m: &mut Manifest) -> Vec<Table> {
     let mut t = Table::new(
         "table1",
         "Design comparison with existing work (as implemented)",
@@ -75,7 +77,8 @@ pub fn run() -> Vec<Table> {
 mod tests {
     #[test]
     fn table1_shape() {
-        let t = &super::run()[0];
+        let mut m = crate::manifest::Manifest::new_fixed("table1-test", 1.0, 42);
+        let t = &super::run(&mut m)[0];
         assert_eq!(t.rows.len(), 5);
         // The Opt column is all-Y.
         for r in &t.rows {

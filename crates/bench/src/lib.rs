@@ -1,15 +1,19 @@
 //! # nbkv-bench — figure/table regeneration harness
 //!
 //! One binary per table/figure of the paper's evaluation (`table1`,
-//! `fig1` … `fig8b`, plus `all`); each prints the same rows/series the
-//! paper reports as markdown, persists JSON under `results/`, and attaches
-//! the paper's expected shape as notes.
+//! `fig1` … `fig8b`, `phases`, plus `all`); each prints the same
+//! rows/series the paper reports as markdown, persists JSON under
+//! `results/`, attaches the paper's expected shape as notes, and writes a
+//! run manifest (`results/manifest/<bench>.json`) with per-section metric
+//! rollups and per-phase latency histograms.
 //!
 //! Scale is controlled by `NBKV_SCALE` (1.0 = the paper's sizes; default
-//! 0.25 keeps every run quick while preserving all size *ratios*).
+//! 0.25 keeps every run quick while preserving all size *ratios*); the
+//! output root is controlled by `NBKV_RESULTS_DIR` (default `results/`).
 
 #![warn(missing_docs)]
 
 pub mod exp;
 pub mod figs;
+pub mod manifest;
 pub mod table;

@@ -1,7 +1,6 @@
 //! Result tables: markdown printing and JSON export.
 
 use std::fmt::Write as _;
-use std::path::Path;
 
 /// A printable/serializable experiment result table.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -78,11 +77,12 @@ impl Table {
         out
     }
 
-    /// Print to stdout and persist JSON under `results/<id>.json`.
+    /// Print to stdout and persist JSON under
+    /// [`results_dir`](crate::manifest::results_dir)`/<id>.json`.
     pub fn emit(&self) {
         println!("{}", self.to_markdown());
-        let dir = Path::new("results");
-        if std::fs::create_dir_all(dir).is_ok() {
+        let dir = crate::manifest::results_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
             let path = dir.join(format!("{}.json", self.id));
             if let Ok(json) = serde_json::to_string_pretty(self) {
                 let _ = std::fs::write(path, json);

@@ -1,0 +1,41 @@
+//! The regression gate's foundation: the same experiment run twice in the
+//! same tree must render a byte-identical manifest. Virtual time, seeded
+//! RNGs, and ordered-map registries leave no room for drift — if this
+//! test fails, `scripts/regress.sh` cannot work.
+
+use nbkv_bench::exp::LatencyExp;
+use nbkv_bench::manifest::Manifest;
+use nbkv_core::designs::Design;
+
+fn render_once() -> String {
+    let mut m = Manifest::new_fixed("determinism-test", 1.0, 42);
+    for design in [Design::RdmaMem, Design::HRdmaOptNonBI] {
+        let mut exp = LatencyExp::single(design, 8 << 20, 12 << 20);
+        exp.ops_per_client = 300;
+        let (r, cluster_reg) = exp.run_obs();
+        let reg = m.record_report(design.label(), &r);
+        reg.merge(&cluster_reg);
+    }
+    m.render()
+}
+
+#[test]
+fn manifests_are_byte_identical_across_runs() {
+    let a = render_once();
+    let b = render_once();
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "two runs of the same experiment must render identically"
+    );
+    // The manifest must actually carry the phase breakdown, not just
+    // render deterministically because it is empty.
+    assert!(
+        a.contains("phase_e2e"),
+        "manifest must include phase histograms"
+    );
+    assert!(
+        a.contains("fabric.messages"),
+        "manifest must include cluster counters"
+    );
+}

@@ -35,6 +35,9 @@ pub struct Completion {
     pub stages: StageTimes,
     /// When the request was issued (virtual time).
     pub issued_at: SimTime,
+    /// When the NIC finished serializing the request onto the link
+    /// (send-completion time; equals `issued_at` for failed sends).
+    pub sent_at: SimTime,
     /// When the response completed at the client (virtual time).
     pub completed_at: SimTime,
 }
@@ -54,6 +57,29 @@ impl Completion {
             OpStatus::Stored | OpStatus::Hit | OpStatus::Deleted
         )
     }
+
+    /// The full request-lifecycle timeline, combining the client-side
+    /// stamps with the server's absolute stamps (all on the one shared
+    /// virtual clock). `None` when the server did not stamp the response
+    /// (e.g. a pre-observability peer) or the stamps are inconsistent
+    /// (e.g. a retried request whose issue stamp post-dates the original
+    /// attempt's server processing).
+    pub fn timeline(&self) -> Option<nbkv_obs::ReqTimeline> {
+        if self.stages.server_recv_at_ns == 0 {
+            return None;
+        }
+        let tl = nbkv_obs::ReqTimeline {
+            issued_ns: self.issued_at.as_nanos(),
+            nic_out_ns: self.sent_at.as_nanos(),
+            server_recv_ns: self.stages.server_recv_at_ns,
+            comm_done_ns: self.stages.comm_done_at_ns,
+            store_done_ns: self.stages.store_done_at_ns,
+            completed_ns: self.completed_at.as_nanos(),
+            ssd_ns: self.stages.ssd_ns,
+            overlapped_flush: self.stages.overlapped_flush,
+        };
+        tl.is_monotone().then_some(tl)
+    }
 }
 
 pub(crate) struct ReqState {
@@ -61,6 +87,7 @@ pub(crate) struct ReqState {
     pub(crate) response: Option<Response>,
     pub(crate) notify: Notify,
     pub(crate) issued_at: SimTime,
+    pub(crate) sent_at: Option<SimTime>,
     pub(crate) completed_at: Option<SimTime>,
 }
 
@@ -71,6 +98,7 @@ impl ReqState {
             response: None,
             notify: Notify::new(),
             issued_at,
+            sent_at: None,
             completed_at: None,
         }))
     }
@@ -156,6 +184,7 @@ impl ReqHandle {
 
 fn build_completion(s: &ReqState) -> Completion {
     let completed_at = s.completed_at.expect("done implies completion time");
+    let sent_at = s.sent_at.unwrap_or(s.issued_at);
     match s.response.as_ref().expect("done implies response") {
         Response::Set { status, stages, .. } => Completion {
             status: *status,
@@ -165,6 +194,7 @@ fn build_completion(s: &ReqState) -> Completion {
             counter: 0,
             stages: *stages,
             issued_at: s.issued_at,
+            sent_at,
             completed_at,
         },
         Response::Get {
@@ -182,6 +212,7 @@ fn build_completion(s: &ReqState) -> Completion {
             counter: 0,
             stages: *stages,
             issued_at: s.issued_at,
+            sent_at,
             completed_at,
         },
         Response::Delete { status, stages, .. } => Completion {
@@ -192,6 +223,7 @@ fn build_completion(s: &ReqState) -> Completion {
             counter: 0,
             stages: *stages,
             issued_at: s.issued_at,
+            sent_at,
             completed_at,
         },
         Response::Counter {
@@ -207,6 +239,7 @@ fn build_completion(s: &ReqState) -> Completion {
             counter: *value,
             stages: *stages,
             issued_at: s.issued_at,
+            sent_at,
             completed_at,
         },
     }

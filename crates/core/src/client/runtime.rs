@@ -120,6 +120,8 @@ pub struct ClientStats {
     pub hedges: u64,
     /// Attempts rejected because every candidate breaker was open.
     pub breaker_rejections: u64,
+    /// High-water mark of in-flight requests (send-window occupancy).
+    pub window_hwm: u64,
 }
 
 /// A Memcached client bound to one or more servers.
@@ -555,11 +557,16 @@ impl Client {
         let req_id = req.req_id();
         let state = ReqState::new(self.sim.now());
         self.pending.borrow_mut().insert(req_id, Rc::clone(&state));
-        self.stats.borrow_mut().issued += 1;
+        {
+            let mut st = self.stats.borrow_mut();
+            st.issued += 1;
+            st.window_hwm = st.window_hwm.max(self.pending.borrow().len() as u64);
+        }
 
         let payload = req.encode();
         match self.txs[server].send(payload).await {
             Ok(ticket) => {
+                state.borrow_mut().sent_at = Some(ticket.sent_at());
                 if wait_sent {
                     ticket.wait_sent().await;
                 }

@@ -179,6 +179,12 @@ impl SetMode {
 /// Per-request server-side stage timings (virtual nanoseconds), matching
 /// the six-stage breakdown of Section III-A (the client-side stages —
 /// client wait and miss penalty — are measured by the client).
+///
+/// The `*_at_ns` fields are **absolute** stamps on the shared simulation
+/// clock (all nodes run on one virtual clock, so client- and server-side
+/// stamps are directly comparable); the client combines them with its own
+/// issue/completion stamps into a full request-lifecycle timeline
+/// (`nbkv_obs::ReqTimeline`). A value of 0 means "not stamped".
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimes {
     /// Stage 1: slab allocation (including any eviction flush to SSD).
@@ -189,6 +195,19 @@ pub struct StageTimes {
     pub cache_update_ns: u64,
     /// Stage 4: server response preparation/transmission estimate.
     pub response_ns: u64,
+    /// Absolute stamp: server received the request.
+    pub server_recv_at_ns: u64,
+    /// Absolute stamp: communication phase done (parsed, and staged to the
+    /// worker pool or dispatched inline).
+    pub comm_done_at_ns: u64,
+    /// Absolute stamp: memory/SSD phase done (response about to be built).
+    pub store_done_at_ns: u64,
+    /// Duration within the store phase spent on SSD I/O (reads serving
+    /// this request plus eviction flushes it waited on).
+    pub ssd_ns: u64,
+    /// True if the request arrived while a slab-eviction flush was in
+    /// flight (the comm/memory overlap the non-blocking designs create).
+    pub overlapped_flush: bool,
     /// Where the value came from.
     pub served_from: ServedFrom,
 }
@@ -562,7 +581,7 @@ impl Response {
                 value,
             } => {
                 let vlen = value.as_ref().map_or(0, |v| v.len());
-                let mut b = BytesMut::with_capacity(60 + vlen);
+                let mut b = BytesMut::with_capacity(93 + vlen);
                 b.put_u8(130);
                 b.put_u8(status.to_wire());
                 b.put_u64(*req_id);
@@ -585,7 +604,7 @@ impl Response {
                 stages,
                 value,
             } => {
-                let mut b = BytesMut::with_capacity(51);
+                let mut b = BytesMut::with_capacity(84);
                 b.put_u8(132);
                 b.put_u8(status.to_wire());
                 b.put_u64(*req_id);
@@ -648,7 +667,7 @@ impl Response {
 }
 
 fn encode_plain_resp(opcode: u8, req_id: u64, status: OpStatus, stages: &StageTimes) -> Bytes {
-    let mut b = BytesMut::with_capacity(43);
+    let mut b = BytesMut::with_capacity(76);
     b.put_u8(opcode);
     b.put_u8(status.to_wire());
     b.put_u64(req_id);
@@ -661,6 +680,11 @@ fn put_stages(b: &mut BytesMut, s: &StageTimes) {
     b.put_u64(s.check_load_ns);
     b.put_u64(s.cache_update_ns);
     b.put_u64(s.response_ns);
+    b.put_u64(s.server_recv_at_ns);
+    b.put_u64(s.comm_done_at_ns);
+    b.put_u64(s.store_done_at_ns);
+    b.put_u64(s.ssd_ns);
+    b.put_u8(s.overlapped_flush as u8);
     b.put_u8(s.served_from.to_wire());
 }
 
@@ -670,6 +694,11 @@ fn read_stages(r: &mut Reader<'_>) -> Result<StageTimes, ProtoError> {
         check_load_ns: r.u64()?,
         cache_update_ns: r.u64()?,
         response_ns: r.u64()?,
+        server_recv_at_ns: r.u64()?,
+        comm_done_at_ns: r.u64()?,
+        store_done_at_ns: r.u64()?,
+        ssd_ns: r.u64()?,
+        overlapped_flush: r.u8()? == 1,
         served_from: ServedFrom::from_wire(r.u8()?)?,
     })
 }
@@ -766,6 +795,11 @@ mod tests {
             check_load_ns: 456,
             cache_update_ns: 789,
             response_ns: 42,
+            server_recv_at_ns: 10_000,
+            comm_done_at_ns: 10_050,
+            store_done_at_ns: 11_400,
+            ssd_ns: 400,
+            overlapped_flush: true,
             served_from: ServedFrom::Ssd,
         }
     }

@@ -329,9 +329,20 @@ impl HybridStore {
         *self.stats.borrow()
     }
 
+    /// Number of slab-eviction flushes currently in flight. The server
+    /// samples this on request arrival to flag comm/flush overlap.
+    pub fn flushes_in_flight(&self) -> u32 {
+        self.flushes_in_flight.get()
+    }
+
     /// Slab pool counters.
     pub fn slab_stats(&self) -> SlabStats {
         self.pool.borrow().stats()
+    }
+
+    /// The slab I/O facade, if this store is hybrid (for I/O counters).
+    pub fn slab_io(&self) -> Option<&Rc<SlabIo>> {
+        self.ssd.as_ref()
     }
 
     /// Number of indexed keys.
@@ -470,17 +481,29 @@ impl HybridStore {
             return OpOutcome::status_only(OpStatus::Error, stages);
         };
 
-        // Stage 1: slab allocation (may flush/evict).
+        // Stage 1: slab allocation (may flush/evict). Time spent inside
+        // hybrid eviction (flushing a page, or waiting out someone else's
+        // flush) is also attributed to the request's SSD share.
         let t0 = self.sim.now();
+        let mut ssd_wait_ns = 0u64;
         let id = loop {
             let got = self.pool.borrow_mut().try_alloc(class);
             if let Some(id) = got {
                 break id;
             }
-            if !self.make_room(class).await {
+            let t_room = self.sim.now();
+            let made = self.make_room(class).await;
+            if self.cfg.kind == StoreKind::Hybrid {
+                ssd_wait_ns += self.ns_since(t_room);
+            }
+            if !made {
                 if self.flushes_in_flight.get() > 0 {
                     // Another handler is flushing; wait for memory.
+                    let t_wait = self.sim.now();
                     self.mem_notify.notified().await;
+                    if self.cfg.kind == StoreKind::Hybrid {
+                        ssd_wait_ns += self.ns_since(t_wait);
+                    }
                     continue;
                 }
                 self.stats.borrow_mut().set_errors += 1;
@@ -488,6 +511,7 @@ impl HybridStore {
             }
         };
         stages.slab_alloc_ns = self.ns_since(t0);
+        stages.ssd_ns += ssd_wait_ns;
 
         // Store the item bytes.
         let t1 = self.sim.now();
@@ -711,14 +735,19 @@ impl HybridStore {
                 len,
             } => {
                 let raw = if let Some(buf) = self.read_inflight(offset, len as usize) {
-                    // The flush has not landed yet; serve from its buffer.
+                    // The flush has not landed yet; serve from its buffer
+                    // (RAM speed, so no SSD time is attributed).
                     self.stats.borrow_mut().inflight_hits += 1;
                     self.charge(self.cfg.costs.memcpy(len as usize)).await;
                     buf
                 } else {
                     let ssd = self.ssd.as_ref().expect("SSD location implies hybrid");
+                    let t_ssd = self.sim.now();
                     match ssd.read(scheme, offset, len as usize).await {
-                        Ok(b) => b,
+                        Ok(b) => {
+                            stages.ssd_ns += self.ns_since(t_ssd);
+                            b
+                        }
                         Err(_) => {
                             stages.check_load_ns = self.ns_since(t0);
                             self.stats.borrow_mut().get_io_errors += 1;

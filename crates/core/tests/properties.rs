@@ -44,23 +44,29 @@ fn arb_mode() -> impl Strategy<Value = SetMode> {
 
 fn arb_stages() -> impl Strategy<Value = StageTimes> {
     (
-        any::<u32>(),
-        any::<u32>(),
-        any::<u32>(),
-        any::<u32>(),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        any::<bool>(),
         0u8..3,
     )
-        .prop_map(|(a, b, c, d, sf)| StageTimes {
-            slab_alloc_ns: a as u64,
-            check_load_ns: b as u64,
-            cache_update_ns: c as u64,
-            response_ns: d as u64,
-            served_from: match sf {
-                0 => ServedFrom::Ram,
-                1 => ServedFrom::Ssd,
-                _ => ServedFrom::None,
+        .prop_map(
+            |((a, b, c, d), (recv, comm, store, ssd), ov, sf)| StageTimes {
+                slab_alloc_ns: a as u64,
+                check_load_ns: b as u64,
+                cache_update_ns: c as u64,
+                response_ns: d as u64,
+                server_recv_at_ns: recv as u64,
+                comm_done_at_ns: comm as u64,
+                store_done_at_ns: store as u64,
+                ssd_ns: ssd as u64,
+                overlapped_flush: ov,
+                served_from: match sf {
+                    0 => ServedFrom::Ram,
+                    1 => ServedFrom::Ssd,
+                    _ => ServedFrom::None,
+                },
             },
-        })
+        )
 }
 
 proptest! {

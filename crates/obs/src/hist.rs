@@ -1,0 +1,293 @@
+//! Log-bucketed histogram with exact integer bucket bounds.
+//!
+//! Layout: values `0..8` get their own unit buckets; above that, each
+//! power-of-two octave is split into 8 sub-buckets, giving a worst-case
+//! relative error of 1/8 on any recorded value. All bucket math is pure
+//! integer arithmetic, so two runs that record the same virtual-time
+//! samples produce byte-identical serializations — the property the CI
+//! regression gate relies on.
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave (and width of the initial linear range).
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Bucket index for a value (pure integer math).
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS) as u64;
+    let sub = (v >> (msb - SUB_BITS)) - SUB_COUNT;
+    (SUB_COUNT + octave * SUB_COUNT + sub) as usize
+}
+
+/// Smallest value that maps to bucket `i` (the exact integer a quantile
+/// query reports for any sample landing in that bucket).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB_COUNT {
+        return i;
+    }
+    let octave = (i - SUB_COUNT) / SUB_COUNT;
+    let sub = (i - SUB_COUNT) % SUB_COUNT;
+    (SUB_COUNT + sub) << octave
+}
+
+/// A deterministic log-bucketed histogram of `u64` samples (virtual
+/// nanoseconds, byte counts, ...).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// New, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Integer mean (0 if empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (0.0..=1.0) as the lower bound of the bucket that
+    /// holds the nearest-rank sample — always one of the exact integers
+    /// from [`bucket_lower_bound`], never an interpolation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The min/max are tracked exactly; clamp the bucket bound
+                // into the observed range so single-sample histograms
+                // report the sample itself.
+                return bucket_lower_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket lower bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (bucket lower bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one (bucket-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Deterministic rollup for manifests: count, sum, min, mean, p50,
+    /// p99, max — all exact integers.
+    pub fn summary(&self) -> crate::Json {
+        crate::Json::Obj(vec![
+            ("count".into(), crate::Json::U64(self.count())),
+            ("sum".into(), crate::Json::U64(self.sum())),
+            ("min".into(), crate::Json::U64(self.min())),
+            ("mean".into(), crate::Json::U64(self.mean())),
+            ("p50".into(), crate::Json::U64(self.p50())),
+            ("p99".into(), crate::Json::U64(self.p99())),
+            ("max".into(), crate::Json::U64(self.max())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_below_eight() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_exact_inverses() {
+        // Every bucket's lower bound maps back to that bucket, and the
+        // value just below it maps to the previous bucket.
+        for i in 0..400usize {
+            let lb = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lb), i, "lower bound of bucket {i}");
+            if lb > 0 {
+                assert_eq!(bucket_index(lb - 1), i - 1, "below bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn octave_boundaries() {
+        // 8..16 is octave 0 (buckets 8..16, width 1); 16..32 is octave 1
+        // (width 2); 1024..2048 has width 128.
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(17), 16);
+        assert_eq!(bucket_index(31), 23);
+        assert_eq!(bucket_index(32), 24);
+        assert_eq!(bucket_lower_bound(24), 32);
+        assert_eq!(bucket_index(1024), bucket_index(1024 + 127));
+        assert_ne!(bucket_index(1024), bucket_index(1024 + 128));
+    }
+
+    #[test]
+    fn relative_error_bounded_by_one_eighth() {
+        for v in [9u64, 100, 999, 12_345, 1 << 20, u64::MAX / 2] {
+            let lb = bucket_lower_bound(bucket_index(v));
+            assert!(lb <= v);
+            assert!(v - lb <= v / 8, "value {v}, lower bound {lb}");
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(1.0) >= h.quantile(0.0));
+    }
+
+    #[test]
+    fn quantiles_are_bucket_lower_bounds() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.p50();
+        assert_eq!(p50, bucket_lower_bound(bucket_index(50)));
+        let p99 = h.p99();
+        assert_eq!(p99, bucket_lower_bound(bucket_index(1000)));
+        // Single sample: quantile reports the sample exactly (clamped).
+        let mut one = Histogram::new();
+        one.record(12_345);
+        assert_eq!(one.p50(), 12_345);
+        assert_eq!(one.p99(), 12_345);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let samples_a = [3u64, 17, 230, 99_000];
+        let samples_b = [8u64, 8, 1 << 30];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for &v in &samples_a {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn determinism_across_identical_sequences() {
+        let build = || {
+            let mut h = Histogram::new();
+            let mut x = 0x1234_5678u64;
+            for _ in 0..5_000 {
+                // splitmix-style deterministic stream
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h.record(x >> 33);
+            }
+            h
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert_eq!(
+            format!("{}", a.summary().render_pretty()),
+            format!("{}", b.summary().render_pretty())
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal deterministic JSON rendering.
+//!
+//! The manifests this crate emits are diffed byte-for-byte by the CI
+//! regression gate, so their serialization must be fully under our
+//! control: insertion-ordered object keys, 2-space indentation, no
+//! dependence on any external serializer's formatting choices.
+
+use std::fmt::Write as _;
+
+/// A JSON value with ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (rendered as-is; no float conversion).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered with Rust's shortest-roundtrip formatting, which
+    /// is deterministic for a given bit pattern).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; keys keep their insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Render with 2-space indentation and a trailing newline — the one
+    /// canonical form every golden file uses.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.render(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    v.render(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_ordered_objects() {
+        let j = Json::Obj(vec![
+            ("zeta".into(), Json::U64(1)),
+            (
+                "alpha".into(),
+                Json::Arr(vec![Json::Bool(true), Json::I64(-5)]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let s = j.render_pretty();
+        // Insertion order preserved, not sorted.
+        let zi = s.find("zeta").unwrap();
+        let ai = s.find("alpha").unwrap();
+        assert!(zi < ai);
+        assert!(s.contains("\"empty\": {}"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(j.render_pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let j = Json::Obj(vec![
+            ("f".into(), Json::F64(0.123456789)),
+            ("n".into(), Json::U64(u64::MAX)),
+        ]);
+        assert_eq!(j.render_pretty(), j.render_pretty());
+    }
+}

@@ -33,4 +33,4 @@ pub use lru::LruMap;
 pub use mmapio::{MmapConfig, MmapRegion, MmapStats};
 pub use pagecache::{PageCache, PageCacheConfig, PageCacheStats};
 pub use profile::{instant_device, nvme_p3700, sata_ssd, DeviceProfile, HostModel};
-pub use scheme::{IoScheme, SlabIo, SlabIoConfig};
+pub use scheme::{IoScheme, SlabIo, SlabIoConfig, SlabIoStats};

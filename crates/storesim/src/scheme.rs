@@ -8,6 +8,7 @@
 //! scheme is read back through the same scheme (which is how the slab
 //! manager records item locations).
 
+use std::cell::Cell;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -65,11 +66,35 @@ impl SlabIoConfig {
     }
 }
 
+/// I/O-facade counters: per-scheme operation mix plus total virtual time
+/// callers spent stalled inside slab reads/writes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlabIoStats {
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Operations routed through the direct scheme.
+    pub direct_ops: u64,
+    /// Operations routed through the cached scheme.
+    pub cached_ops: u64,
+    /// Operations routed through the mmap scheme.
+    pub mmap_ops: u64,
+    /// Total virtual ns callers spent awaiting slab reads/writes.
+    pub stall_ns: u64,
+}
+
 /// Unified I/O facade over one SSD.
 pub struct SlabIo {
+    sim: Sim,
     dev: Rc<SsdDevice>,
     cache: Rc<PageCache>,
     mmap: Rc<MmapRegion>,
+    stats: Cell<SlabIoStats>,
 }
 
 impl SlabIo {
@@ -89,7 +114,25 @@ impl SlabIo {
             capacity,
             MmapConfig::with_resident_limit(cfg.mmap_resident_bytes, cfg.host),
         );
-        Rc::new(SlabIo { dev, cache, mmap })
+        Rc::new(SlabIo {
+            sim: sim.clone(),
+            dev,
+            cache,
+            mmap,
+            stats: Cell::new(SlabIoStats::default()),
+        })
+    }
+
+    fn count_op(&self, scheme: IoScheme, stalled_ns: u64, f: impl FnOnce(&mut SlabIoStats)) {
+        let mut st = self.stats.get();
+        match scheme {
+            IoScheme::Direct => st.direct_ops += 1,
+            IoScheme::Cached => st.cached_ops += 1,
+            IoScheme::Mmap => st.mmap_ops += 1,
+        }
+        st.stall_ns += stalled_ns;
+        f(&mut st);
+        self.stats.set(st);
     }
 
     /// Write `data` at `offset` through `scheme`.
@@ -99,11 +142,19 @@ impl SlabIo {
         offset: u64,
         data: &[u8],
     ) -> Result<(), DeviceError> {
-        match scheme {
+        let t0 = self.sim.now();
+        let out = match scheme {
             IoScheme::Direct => self.dev.write_sync(offset, data).await,
             IoScheme::Cached => self.cache.write(offset, data).await,
             IoScheme::Mmap => self.mmap.write(offset, data).await,
-        }
+        };
+        let stalled = self.sim.now().saturating_since(t0).as_nanos() as u64;
+        let len = data.len() as u64;
+        self.count_op(scheme, stalled, |st| {
+            st.writes += 1;
+            st.write_bytes += len;
+        });
+        out
     }
 
     /// Read `len` bytes at `offset` through `scheme`.
@@ -113,11 +164,23 @@ impl SlabIo {
         offset: u64,
         len: usize,
     ) -> Result<Bytes, DeviceError> {
-        match scheme {
+        let t0 = self.sim.now();
+        let out = match scheme {
             IoScheme::Direct => self.dev.read(offset, len).await,
             IoScheme::Cached => self.cache.read(offset, len).await,
             IoScheme::Mmap => self.mmap.read(offset, len).await,
-        }
+        };
+        let stalled = self.sim.now().saturating_since(t0).as_nanos() as u64;
+        self.count_op(scheme, stalled, |st| {
+            st.reads += 1;
+            st.read_bytes += len as u64;
+        });
+        out
+    }
+
+    /// Counter snapshot.
+    pub fn io_stats(&self) -> SlabIoStats {
+        self.stats.get()
     }
 
     /// Flush all buffered state to the device.

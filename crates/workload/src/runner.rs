@@ -21,6 +21,7 @@ use bytes::Bytes;
 
 use nbkv_core::client::{Client, ClientError, Completion, ReqHandle};
 use nbkv_core::proto::{ApiFlavor, OpStatus, ServedFrom, StageTimes};
+use nbkv_obs::PhaseRollup;
 use nbkv_simrt::Sim;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -156,6 +157,9 @@ pub struct RunReport {
     pub failed_ops: u64,
     /// Subset of `failed_ops` that ran out their deadline.
     pub timed_out_ops: u64,
+    /// Per-phase lifecycle rollup (comm/dispatch/store/comm-out) built
+    /// from the request timelines of every completion that carried one.
+    pub phases: PhaseRollup,
 }
 
 impl RunReport {
@@ -216,6 +220,13 @@ impl RunReport {
                 / total_ops.max(1) as f64,
             failed_ops: reports.iter().map(|r| r.failed_ops).sum(),
             timed_out_ops: reports.iter().map(|r| r.timed_out_ops).sum(),
+            phases: {
+                let mut phases = PhaseRollup::new();
+                for r in reports {
+                    phases.merge(&r.phases);
+                }
+                phases
+            },
         }
     }
 }
@@ -328,6 +339,7 @@ async fn execute_blocking(
             PlannedOp::Set { key } => {
                 match client.set(key.clone(), pool.value(op_idx), 0, None).await {
                     Ok(c) => {
+                        counters.record_timeline(&c);
                         let total = ns(sim, t0);
                         agg.record_blocking(&c.stages, total, 0);
                         rec.record(total);
@@ -372,6 +384,7 @@ async fn execute_blocking(
             },
             PlannedOp::Delete { key } => match client.delete(key.clone()).await {
                 Ok(c) => {
+                    counters.record_timeline(&c);
                     let total = ns(sim, t0);
                     agg.record_blocking(&c.stages, total, 0);
                     rec.record(total);
@@ -434,8 +447,9 @@ async fn execute_nonblocking(
             (PlannedOp::Delete { key }, _) => {
                 // Deletes have no non-blocking variant in the paper's API;
                 // issue them blocking.
-                if let Err(e) = client.delete(key.clone()).await {
-                    counters.count_error(&e);
+                match client.delete(key.clone()).await {
+                    Ok(c) => counters.record_timeline(&c),
+                    Err(e) => counters.count_error(&e),
                 }
                 let issue = ns(sim, t0);
                 issue_blocked += issue;
@@ -505,10 +519,21 @@ struct Counters {
     ssd_hits: u64,
     failed: u64,
     timed_out: u64,
+    phases: PhaseRollup,
 }
 
 impl Counters {
+    /// Fold the completion's lifecycle stamps into the phase rollup.
+    /// Completions without usable stamps (unstamped or retried attempts)
+    /// return no timeline and are skipped.
+    fn record_timeline(&mut self, c: &Completion) {
+        if let Some(tl) = c.timeline() {
+            self.phases.record(&tl);
+        }
+    }
+
     fn count_get(&mut self, c: &Completion) {
+        self.record_timeline(c);
         match c.status {
             OpStatus::Hit => {
                 self.hits += 1;
@@ -563,6 +588,7 @@ fn finish_report(
         overlap_pct,
         failed_ops: counters.failed,
         timed_out_ops: counters.timed_out,
+        phases: counters.phases,
     }
 }
 
@@ -603,6 +629,10 @@ mod tests {
         assert_eq!(report.hits, 300);
         assert_eq!(report.misses, 0);
         assert!(report.mean_latency_ns > 0);
+        assert_eq!(report.phases.ops, 300, "every get carries a timeline");
+        assert_eq!(report.phases.e2e.count(), 300);
+        assert!(report.phases.comm_in.sum() > 0);
+        assert!(report.phases.comm_out.sum() > 0);
         assert!(
             report.overlap_pct < 5.0,
             "blocking has no overlap: {}",
@@ -629,6 +659,8 @@ mod tests {
             "iget overlap should be high: {}",
             report.overlap_pct
         );
+        assert_eq!(report.phases.ops, 500, "reaped ops carry timelines");
+        assert!(report.phases.store.sum() > 0);
     }
 
     #[test]
@@ -684,6 +716,7 @@ mod tests {
             overlap_pct: 90.0,
             failed_ops: 0,
             timed_out_ops: 0,
+            phases: PhaseRollup::new(),
         };
         let mut b = a.clone();
         b.ops = 300;

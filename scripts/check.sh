@@ -15,7 +15,13 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> cargo test --workspace --doc -q"
+cargo test --workspace --doc -q
 
 echo "==> OK"
