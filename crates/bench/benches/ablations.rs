@@ -43,6 +43,7 @@ fn run_with(mutate: impl Fn(&mut ClusterConfig), design: Design) -> u64 {
             seed: 5,
             miss_penalty: std::time::Duration::from_millis(2),
             recache_on_miss: true,
+            batch: 0,
         };
         run_workload(&sim2, &client, &spec).await.mean_latency_ns
     });
@@ -109,6 +110,7 @@ fn run_store_ablation_full(
             seed: 5,
             miss_penalty: std::time::Duration::from_millis(2),
             recache_on_miss: true,
+            batch: 0,
         };
         run_workload(&sim2, &client, &spec).await.mean_latency_ns
     });

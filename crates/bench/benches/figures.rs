@@ -38,6 +38,7 @@ fn mini_latency_run(design: Design, data_bytes: u64, mix: OpMix, ops: usize) -> 
             seed: 5,
             miss_penalty: std::time::Duration::from_millis(2),
             recache_on_miss: true,
+            batch: 0,
         };
         run_workload(&sim2, &client, &spec).await.mean_latency_ns
     });
@@ -130,6 +131,7 @@ fn bench_throughput(c: &mut Criterion) {
                                         seed: i as u64,
                                         miss_penalty: std::time::Duration::from_millis(2),
                                         recache_on_miss: false,
+                                        batch: 0,
                                     };
                                     run_workload(&sim, &c, &spec).await.ops
                                 }
@@ -179,6 +181,7 @@ fn bench_devices_and_bursty(c: &mut Criterion) {
                             seed: 5,
                             miss_penalty: std::time::Duration::from_millis(2),
                             recache_on_miss: false,
+                            batch: 0,
                         };
                         run_workload(&sim2, &client, &spec).await.mean_latency_ns
                     });

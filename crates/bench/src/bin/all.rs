@@ -18,6 +18,7 @@ fn main() {
         ("fig8a", nbkv_bench::figs::fig8a::run),
         ("fig8b", nbkv_bench::figs::fig8b::run),
         ("phases", nbkv_bench::figs::phases::run),
+        ("batch", nbkv_bench::figs::batch::run),
     ];
     for (name, run) in figures {
         eprintln!("[all] running {name} ...");

@@ -1,0 +1,10 @@
+//! Doorbell batching: per-op vs batched issue comparison.
+
+fn main() {
+    nbkv_bench::figs::banner("batch");
+    let mut m = nbkv_bench::manifest::Manifest::new("batch");
+    for t in nbkv_bench::figs::batch::run(&mut m) {
+        t.emit();
+    }
+    m.emit();
+}

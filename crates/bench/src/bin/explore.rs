@@ -77,6 +77,7 @@ fn main() {
         clients: args.num("--clients", 1usize).max(1),
         window: args.num("--window", 64usize).max(1),
         ssd_capacity: 16 * mem,
+        batch: 0,
     };
 
     eprintln!(

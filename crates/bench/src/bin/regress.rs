@@ -124,6 +124,49 @@ fn regress_resilience(m: &mut Manifest) -> Table {
     t
 }
 
+/// Doorbell batching at a pinned shape — guards the batch framing, the
+/// flush-policy counters, and the wire-level message savings.
+fn regress_batch(m: &mut Manifest) -> Table {
+    let mut t = Table::new(
+        "regress_batch",
+        "Regression: exact batched-issue counters (4 servers, 512 B reads, group 64)",
+        &[
+            "design",
+            "issue",
+            "mean (ns)",
+            "fabric msgs",
+            "batches",
+            "batched ops",
+        ],
+    );
+    for batch in [0, 64] {
+        let design = Design::HRdmaOptNonBI;
+        let exp = LatencyExp {
+            value_len: 512,
+            mix: nbkv_workload::OpMix::READ_ONLY,
+            ops_per_client: OPS,
+            servers: 4,
+            window: 256,
+            batch,
+            ..LatencyExp::single(design, MEM, MEM / 2)
+        };
+        let (r, cluster_reg) = exp.run_obs();
+        let label = if batch > 1 { "batched" } else { "per-op" };
+        let reg = m.record_report(&format!("batch/{label}"), &r);
+        reg.merge(&cluster_reg);
+        t.row(vec![
+            design.label().to_string(),
+            label.to_string(),
+            r.mean_latency_ns.to_string(),
+            cluster_reg.counter("fabric.messages").to_string(),
+            cluster_reg.counter("client.batches_sent").to_string(),
+            cluster_reg.counter("client.batched_ops").to_string(),
+        ]);
+    }
+    t.note("pinned: 8 MiB memory, 4 MiB RAM-resident data, 512 B values, 600 read-only ops, seed 42; default BatchPolicy.");
+    t
+}
+
 fn run_chaos(exp: &LatencyExp) -> (RunReport, nbkv_obs::Registry) {
     // Rebuild the experiment with chaos + a deadline so drops cannot hang.
     use nbkv_core::cluster::build_cluster;
@@ -166,6 +209,7 @@ fn run_chaos(exp: &LatencyExp) -> (RunReport, nbkv_obs::Registry) {
             seed: 42,
             miss_penalty: nbkv_workload::BackendDb::default_penalty(),
             recache_on_miss: true,
+            batch: 0,
         };
         run_workload(&sim2, &client, &spec).await
     });
@@ -182,6 +226,7 @@ fn main() {
         regress_latency(&mut m),
         regress_phases(&mut m),
         regress_resilience(&mut m),
+        regress_batch(&mut m),
     ] {
         t.emit();
     }

@@ -83,6 +83,7 @@ fn run_design(design: Design, seed: u64) -> ChaosOutcome {
         seed: 42,
         miss_penalty: nbkv_workload::BackendDb::default_penalty(),
         recache_on_miss: true,
+        batch: 0,
     };
 
     let clients: Vec<_> = cluster.clients.iter().map(Rc::clone).collect();

@@ -22,6 +22,7 @@ fn run_point(design: Design, servers: usize) -> RunReport {
         clients: 32,
         window: 32,
         ssd_capacity: 4 * agg_mem / servers as u64,
+        batch: 0,
     }
     .run()
 }

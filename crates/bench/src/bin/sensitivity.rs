@@ -46,6 +46,7 @@ fn run_one(design: Design, mutate: &dyn Fn(&mut ClusterConfig)) -> u64 {
             seed: 42,
             miss_penalty: Duration::from_millis(2),
             recache_on_miss: true,
+            batch: 0,
         };
         run_workload(&sim2, &client, &spec).await.mean_latency_ns
     });

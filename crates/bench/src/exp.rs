@@ -60,6 +60,10 @@ pub struct LatencyExp {
     pub window: usize,
     /// Per-server SSD capacity.
     pub ssd_capacity: u64,
+    /// Batched issue group size (`0` = per-op issue). When > 1, clients
+    /// are built with the default [`nbkv_core::BatchPolicy`] and the
+    /// workload drives the batched access pattern.
+    pub batch: usize,
 }
 
 impl LatencyExp {
@@ -78,6 +82,7 @@ impl LatencyExp {
             clients: 1,
             window: 64,
             ssd_capacity: 16 * mem_bytes,
+            batch: 0,
         }
     }
 
@@ -87,6 +92,9 @@ impl LatencyExp {
         cfg.clients = self.clients;
         cfg.device = self.device;
         cfg.ssd_capacity = self.ssd_capacity;
+        if self.batch > 1 {
+            cfg.client.batch = Some(nbkv_core::BatchPolicy::default());
+        }
         cfg
     }
 
@@ -119,6 +127,7 @@ impl LatencyExp {
             seed: 42,
             miss_penalty: nbkv_workload::BackendDb::default_penalty(),
             recache_on_miss: true,
+            batch: self.batch,
         };
         let clients: Vec<_> = cluster.clients.iter().map(Rc::clone).collect();
         let sim2 = sim.clone();
@@ -163,6 +172,8 @@ pub fn cluster_registry(cluster: &Cluster) -> Registry {
         reg.inc("server.responses", st.responses);
         reg.inc("server.proto_errors", st.proto_errors);
         reg.inc("server.recv_during_flush", st.recv_during_flush);
+        reg.inc("server.batches", st.batches);
+        reg.inc("server.batch_ops", st.batch_ops);
         let ss = s.store().stats();
         reg.inc("store.sets", ss.sets);
         reg.inc("store.get_hits_ram", ss.get_hits_ram);
@@ -197,6 +208,16 @@ pub fn cluster_registry(cluster: &Cluster) -> Registry {
         reg.inc("client.breaker_rejections", st.breaker_rejections);
         reg.inc("client.breaker_trips", c.breaker_trips());
         reg.gauge_max("client.window_hwm", st.window_hwm as i64);
+        reg.inc("client.batches_sent", st.batches_sent);
+        reg.inc("client.batched_ops", st.batched_ops);
+        reg.inc("client.flush_on_count", st.flush_on_count);
+        reg.inc("client.flush_on_size", st.flush_on_size);
+        reg.inc("client.flush_on_deadline", st.flush_on_deadline);
+        reg.inc("client.flush_on_doorbell", st.flush_on_doorbell);
+        let hist = c.ops_per_batch();
+        if hist.count() > 0 {
+            reg.merge_hist("client.ops_per_batch", &hist);
+        }
     }
     for l in &cluster.links {
         let st = l.stats();

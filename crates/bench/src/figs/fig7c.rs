@@ -32,6 +32,7 @@ pub fn run_design(design: Design) -> RunReport {
         clients: CLIENTS,
         window: 32,
         ssd_capacity: agg_ssd / SERVERS as u64,
+        batch: 0,
     }
     .run()
 }

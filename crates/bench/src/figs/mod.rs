@@ -5,6 +5,7 @@
 //! (see [`crate::exp::scale_factor`]). Expected shapes from the paper are
 //! attached as table notes so a reader can eyeball paper-vs-measured.
 
+pub mod batch;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;

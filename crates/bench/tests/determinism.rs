@@ -16,6 +16,16 @@ fn render_once() -> String {
         let reg = m.record_report(design.label(), &r);
         reg.merge(&cluster_reg);
     }
+    // A batched run: frame coalescing, flush deadlines, and response
+    // waves must replay bit-for-bit too.
+    let mut exp = LatencyExp::single(Design::HRdmaOptNonBI, 8 << 20, 4 << 20);
+    exp.ops_per_client = 300;
+    exp.servers = 2;
+    exp.value_len = 512;
+    exp.batch = 32;
+    let (r, cluster_reg) = exp.run_obs();
+    let reg = m.record_report("batched", &r);
+    reg.merge(&cluster_reg);
     m.render()
 }
 
@@ -37,5 +47,9 @@ fn manifests_are_byte_identical_across_runs() {
     assert!(
         a.contains("fabric.messages"),
         "manifest must include cluster counters"
+    );
+    assert!(
+        a.contains("client.ops_per_batch"),
+        "manifest must include the batched run's ops-per-frame histogram"
     );
 }

@@ -1,11 +1,13 @@
 //! The client library (libmemcached equivalent) with the paper's
 //! non-blocking API extensions.
 
+pub mod batch;
 pub mod request;
 pub mod resilience;
 pub mod ring;
 pub mod runtime;
 
+pub use batch::BatchPolicy;
 pub use request::{Completion, ReqHandle};
 pub use resilience::{BackoffSchedule, BreakerConfig, ResiliencePolicy};
 pub use ring::Ring;

@@ -4,7 +4,7 @@
 //! flag, the eventual server response, and timing. [`ReqHandle::wait`] is
 //! `memcached_wait`; [`ReqHandle::test`] is `memcached_test`.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -17,6 +17,75 @@ use crate::proto::{OpStatus, Response, StageTimes};
 /// Outstanding-request table shared between the client, its progress
 /// tasks, and every [`ReqHandle`] (for cancellation).
 pub(crate) type Pending = Rc<RefCell<HashMap<u64, Rc<RefCell<ReqState>>>>>;
+
+/// The client's send window: a semaphore bounding in-flight *fabric
+/// frames* plus direct occupancy accounting. The high-water mark tracks
+/// acquired permits — not the pending-op table, which diverges from
+/// window occupancy once a batch frame shares one permit across many ops.
+pub(crate) struct SendWindow {
+    sem: Semaphore,
+    in_flight: Cell<u64>,
+    hwm: Cell<u64>,
+}
+
+impl SendWindow {
+    pub(crate) fn new(max_outstanding: usize) -> Rc<SendWindow> {
+        Rc::new(SendWindow {
+            sem: Semaphore::new(max_outstanding),
+            in_flight: Cell::new(0),
+            hwm: Cell::new(0),
+        })
+    }
+
+    /// Acquire one frame slot (released via [`WindowSlot`]).
+    pub(crate) async fn acquire(&self) {
+        self.sem.acquire().await.forget();
+        let n = self.in_flight.get() + 1;
+        self.in_flight.set(n);
+        self.hwm.set(self.hwm.get().max(n));
+    }
+
+    fn release(&self) {
+        debug_assert!(self.in_flight.get() > 0, "release without acquire");
+        self.in_flight.set(self.in_flight.get().saturating_sub(1));
+        self.sem.add_permits(1);
+    }
+
+    /// High-water mark of concurrently-held frame slots.
+    pub(crate) fn hwm(&self) -> u64 {
+        self.hwm.get()
+    }
+}
+
+/// One acquired send-window slot, shared by every op travelling in the
+/// same fabric frame (one op for the per-op path, N for a batch). The
+/// slot returns its window permit when the last member completes or is
+/// cancelled.
+pub(crate) struct WindowSlot {
+    remaining: Cell<usize>,
+    window: Rc<SendWindow>,
+}
+
+impl WindowSlot {
+    pub(crate) fn new(window: Rc<SendWindow>, members: usize) -> Rc<WindowSlot> {
+        debug_assert!(members > 0);
+        Rc::new(WindowSlot {
+            remaining: Cell::new(members),
+            window,
+        })
+    }
+
+    /// One member op finished (completed or cancelled); the last one out
+    /// releases the frame's window permit.
+    pub(crate) fn member_done(&self) {
+        let r = self.remaining.get();
+        debug_assert!(r > 0, "slot over-released");
+        self.remaining.set(r - 1);
+        if r == 1 {
+            self.window.release();
+        }
+    }
+}
 
 /// Outcome of a completed operation.
 #[derive(Debug, Clone)]
@@ -89,6 +158,14 @@ pub(crate) struct ReqState {
     pub(crate) issued_at: SimTime,
     pub(crate) sent_at: Option<SimTime>,
     pub(crate) completed_at: Option<SimTime>,
+    /// The send-window slot of the frame this op travelled in. Set when
+    /// the frame is posted (immediately for the per-op path, at flush for
+    /// a coalesced op); `None` while the op sits in a batch queue.
+    pub(crate) slot: Option<Rc<WindowSlot>>,
+    /// True once the NIC has finished reading the op's buffers (the
+    /// `bset`/`bget` buffer-reuse point). `notify` fires on this
+    /// transition too.
+    pub(crate) sent: bool,
 }
 
 impl ReqState {
@@ -100,7 +177,24 @@ impl ReqState {
             issued_at,
             sent_at: None,
             completed_at: None,
+            slot: None,
+            sent: false,
         }))
+    }
+}
+
+/// Wait until `state.sent` — the buffer-reuse point for coalesced
+/// `bset`/`bget` ops (set after the batch frame's send completion).
+pub(crate) async fn wait_sent(state: &Rc<RefCell<ReqState>>) {
+    loop {
+        let notified = {
+            let s = state.borrow();
+            if s.sent || s.done {
+                return;
+            }
+            s.notify.notified()
+        };
+        notified.await;
     }
 }
 
@@ -112,7 +206,6 @@ pub struct ReqHandle {
     pub(crate) state: Rc<RefCell<ReqState>>,
     pub(crate) req_id: u64,
     pub(crate) pending: Pending,
-    pub(crate) window: Rc<Semaphore>,
 }
 
 impl ReqHandle {
@@ -122,16 +215,20 @@ impl ReqHandle {
     }
 
     /// Abandon an in-flight request: drop it from the outstanding table and
-    /// release its send-window slot. Returns `true` if the request was
-    /// still in flight (a completed or already-cancelled request is a
-    /// no-op). A response that arrives after cancellation is counted as an
-    /// orphan in [`crate::ClientStats`].
+    /// release its share of the frame's send-window slot. Returns `true`
+    /// if the request was still in flight (a completed or already-
+    /// cancelled request is a no-op). A response that arrives after
+    /// cancellation is counted as an orphan in [`crate::ClientStats`]. An
+    /// op cancelled while still queued in a batch is dropped from the
+    /// frame at flush time (it never touched the window).
     pub fn cancel(&self) -> bool {
         if self.state.borrow().done {
             return false;
         }
         if self.pending.borrow_mut().remove(&self.req_id).is_some() {
-            self.window.add_permits(1);
+            if let Some(slot) = self.state.borrow_mut().slot.take() {
+                slot.member_done();
+            }
             true
         } else {
             false
@@ -242,5 +339,8 @@ fn build_completion(s: &ReqState) -> Completion {
             sent_at,
             completed_at,
         },
+        // The progress task fans batch frames out into member responses
+        // before completing any op; a frame never lands on an op's state.
+        Response::Batch { .. } => unreachable!("batch frames are fanned out per member"),
     }
 }

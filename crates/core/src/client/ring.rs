@@ -4,6 +4,15 @@ use crate::util::{fnv1a, mix64};
 
 const VNODES_PER_SERVER: u32 = 64;
 
+/// Placement point for vnode `v` of server `s`: one `mix64` over the
+/// packed pair. Hashing the integers directly (instead of formatting a
+/// `server-{s}:vnode-{v}` label and hashing the string) keeps ring
+/// construction allocation-free. The `+ 1` keeps the input nonzero so
+/// (0, 0) does not sit at `mix64(0) = 0`, the wrap-around point.
+fn point(s: usize, v: u32) -> u64 {
+    mix64(((s as u64) << 32) | (v as u64 + 1))
+}
+
 /// A consistent-hash ring over `n` servers.
 ///
 /// Both the client library and test harnesses use this, so a key always
@@ -23,11 +32,11 @@ impl Ring {
         let mut points = Vec::with_capacity(servers * VNODES_PER_SERVER as usize);
         for s in 0..servers {
             for v in 0..VNODES_PER_SERVER {
-                let label = format!("server-{s}:vnode-{v}");
-                points.push((mix64(fnv1a(label.as_bytes())), s as u16));
+                points.push((point(s, v), s as u16));
             }
         }
         points.sort_unstable();
+        debug_assert!(!points.is_empty(), "ring must carry placement points");
         Ring { points, servers }
     }
 
@@ -38,6 +47,7 @@ impl Ring {
 
     /// The server responsible for `key`.
     pub fn select(&self, key: &[u8]) -> usize {
+        debug_assert!(!self.points.is_empty(), "select on an empty ring");
         let h = mix64(fnv1a(key));
         let idx = self.points.partition_point(|&(p, _)| p < h);
         let (_, server) = self.points[idx % self.points.len()];
@@ -79,6 +89,28 @@ mod tests {
                 (4_000..=20_000).contains(&c),
                 "server {s} got {c}/40000 keys"
             );
+        }
+    }
+
+    #[test]
+    fn skew_is_bounded_for_every_cluster_size() {
+        // Across every cluster size we actually run, no server's share
+        // may stray more than 2.5x from the fair share in either
+        // direction (ketama with 64 vnodes keeps skew well inside that).
+        const KEYS: usize = 20_000;
+        for servers in 1..=16 {
+            let ring = Ring::new(servers);
+            let mut counts = vec![0usize; servers];
+            for i in 0..KEYS {
+                counts[ring.select(format!("key-{i:06}").as_bytes())] += 1;
+            }
+            let fair = KEYS / servers;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    c * 5 >= fair * 2 && c * 2 <= fair * 5,
+                    "{servers}-server ring: server {s} got {c} keys (fair {fair})"
+                );
+            }
         }
     }
 

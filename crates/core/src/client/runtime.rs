@@ -31,9 +31,12 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use nbkv_fabric::{MrCache, Transport, TransportRx, TransportTx};
-use nbkv_simrt::{Semaphore, Sim};
+use nbkv_simrt::Sim;
 
-use crate::client::request::{Completion, Pending, ReqHandle, ReqState};
+use crate::client::batch::{BatchPolicy, Batcher};
+use crate::client::request::{
+    wait_sent, Completion, Pending, ReqHandle, ReqState, SendWindow, WindowSlot,
+};
 use crate::client::resilience::{Breaker, ResiliencePolicy};
 use crate::client::ring::Ring;
 use crate::costs::CpuCosts;
@@ -42,12 +45,18 @@ use crate::proto::{ApiFlavor, OpStatus, Request, Response, SetMode};
 /// Client configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ClientConfig {
-    /// Maximum outstanding requests (models send-queue depth).
+    /// Maximum outstanding *fabric frames* (models send-queue depth). A
+    /// batch frame holds one slot no matter how many ops it carries.
     pub max_outstanding: usize,
     /// CPU cost model.
     pub costs: CpuCosts,
     /// Deadlines, retries, and failover for the blocking API.
     pub resilience: ResiliencePolicy,
+    /// Doorbell batching for the non-blocking API: `Some` coalesces
+    /// `iset`/`iget`/`bset`/`bget` into per-server [`Request::Batch`]
+    /// frames under the given flush policy. `None` (default) sends one
+    /// frame per op.
+    pub batch: Option<BatchPolicy>,
 }
 
 impl Default for ClientConfig {
@@ -56,6 +65,7 @@ impl Default for ClientConfig {
             max_outstanding: 1024,
             costs: CpuCosts::default_costs(),
             resilience: ResiliencePolicy::default(),
+            batch: None,
         }
     }
 }
@@ -84,6 +94,9 @@ pub enum ClientError {
     /// an injected SSD fault) — only with
     /// [`ResiliencePolicy::retry_server_errors`].
     IoError,
+    /// The server's response decoded but its payload was missing or
+    /// malformed (e.g. a fault-corrupted `stats` JSON snapshot).
+    BadResponse,
 }
 
 impl std::fmt::Display for ClientError {
@@ -96,6 +109,7 @@ impl std::fmt::Display for ClientError {
                 write!(f, "retries exhausted after {attempts} attempts")
             }
             ClientError::IoError => write!(f, "server-side I/O error"),
+            ClientError::BadResponse => write!(f, "malformed response payload"),
         }
     }
 }
@@ -120,8 +134,22 @@ pub struct ClientStats {
     pub hedges: u64,
     /// Attempts rejected because every candidate breaker was open.
     pub breaker_rejections: u64,
-    /// High-water mark of in-flight requests (send-window occupancy).
+    /// High-water mark of concurrently-held send-window permits (frame
+    /// occupancy — never exceeds [`ClientConfig::max_outstanding`]).
     pub window_hwm: u64,
+    /// Multi-op batch frames sent (single-op flushes go out unbatched
+    /// and are not counted here).
+    pub batches_sent: u64,
+    /// Ops carried inside those batch frames.
+    pub batched_ops: u64,
+    /// Flushes triggered by the op-count threshold.
+    pub flush_on_count: u64,
+    /// Flushes triggered by the wire-byte threshold.
+    pub flush_on_size: u64,
+    /// Flushes triggered by the virtual-time deadline.
+    pub flush_on_deadline: u64,
+    /// Flushes triggered by an explicit [`Client::flush_batches`] doorbell.
+    pub flush_on_doorbell: u64,
 }
 
 /// A Memcached client bound to one or more servers.
@@ -131,11 +159,12 @@ pub struct Client {
     txs: Vec<TransportTx>,
     ring: Ring,
     pending: Pending,
-    next_id: Cell<u64>,
+    next_id: Rc<Cell<u64>>,
     mr: MrCache,
-    window: Rc<Semaphore>,
+    window: Rc<SendWindow>,
     stats: Rc<RefCell<ClientStats>>,
     breakers: Vec<Breaker>,
+    batcher: Option<Rc<Batcher>>,
 }
 
 impl Client {
@@ -145,7 +174,7 @@ impl Client {
         assert!(!transports.is_empty(), "client needs at least one server");
         let profile = *transports[0].profile();
         let pending: Pending = Rc::new(RefCell::new(HashMap::new()));
-        let window = Rc::new(Semaphore::new(cfg.max_outstanding));
+        let window = SendWindow::new(cfg.max_outstanding);
         let stats = Rc::new(RefCell::new(ClientStats::default()));
         let mut txs = Vec::with_capacity(transports.len());
         for t in transports {
@@ -155,7 +184,6 @@ impl Client {
                 sim: sim.clone(),
                 rx,
                 pending: Rc::clone(&pending),
-                window: Rc::clone(&window),
                 stats: Rc::clone(&stats),
                 costs: cfg.costs,
             };
@@ -163,17 +191,31 @@ impl Client {
         }
         let ring = Ring::new(txs.len());
         let breakers = (0..txs.len()).map(|_| Breaker::default()).collect();
+        let next_id = Rc::new(Cell::new(1));
+        let batcher = cfg.batch.map(|policy| {
+            Batcher::new(
+                sim.clone(),
+                policy,
+                txs.clone(),
+                Rc::clone(&pending),
+                Rc::clone(&window),
+                Rc::clone(&stats),
+                Rc::clone(&next_id),
+                cfg.costs.client_issue,
+            )
+        });
         Rc::new(Client {
             sim: sim.clone(),
             cfg,
             txs,
             ring,
             pending,
-            next_id: Cell::new(1),
+            next_id,
             mr: MrCache::new(sim.clone(), profile),
             window,
             stats,
             breakers,
+            batcher,
         })
     }
 
@@ -189,7 +231,18 @@ impl Client {
 
     /// Counter snapshot.
     pub fn stats(&self) -> ClientStats {
-        *self.stats.borrow()
+        let mut st = *self.stats.borrow();
+        st.window_hwm = self.window.hwm();
+        st
+    }
+
+    /// Ops-per-batch distribution: one sample per flushed frame (single-op
+    /// flushes record `1`). Empty when batching is disabled.
+    pub fn ops_per_batch(&self) -> nbkv_obs::Histogram {
+        self.batcher
+            .as_ref()
+            .map(|b| b.ops_per_batch())
+            .unwrap_or_default()
     }
 
     /// A handle to the simulation this client runs in.
@@ -433,18 +486,47 @@ impl Client {
             Some(d) => h.wait_timeout(d).await.map_err(|_| ClientError::TimedOut)?,
             None => h.wait().await,
         };
-        let payload = done.value.expect("stats response carries JSON");
-        Ok(serde_json::from_slice(&payload).expect("stats JSON parses"))
+        // A fault plan can truncate or corrupt the payload in flight;
+        // surface that as an error instead of killing the whole sim.
+        let payload = done.value.ok_or(ClientError::BadResponse)?;
+        serde_json::from_slice(&payload).map_err(|_| ClientError::BadResponse)
     }
 
-    /// Batch get: issue non-blocking gets for every key, wait for all,
-    /// return completions in key order (memcached `get_multi`).
+    /// Batch get: issue non-blocking gets for every key, ring the batching
+    /// doorbell, wait for all, and return completions in key order
+    /// (memcached `get_multi`). With [`ClientConfig::batch`] set, the gets
+    /// coalesce into per-server [`Request::Batch`] frames.
     pub async fn get_multi(&self, keys: Vec<Bytes>) -> Result<Vec<Completion>, ClientError> {
         let mut handles = Vec::with_capacity(keys.len());
         for key in keys {
             handles.push(self.iget(key).await?);
         }
+        self.flush_batches();
         Ok(self.wait_all(&handles).await)
+    }
+
+    /// Batch set: issue non-blocking sets for every `(key, value)` pair,
+    /// ring the batching doorbell, wait for all, and return completions in
+    /// input order.
+    pub async fn set_multi(
+        &self,
+        items: Vec<(Bytes, Bytes)>,
+    ) -> Result<Vec<Completion>, ClientError> {
+        let mut handles = Vec::with_capacity(items.len());
+        for (key, value) in items {
+            handles.push(self.iset(key, value, 0, None).await?);
+        }
+        self.flush_batches();
+        Ok(self.wait_all(&handles).await)
+    }
+
+    /// Ring the doorbell: flush every non-empty per-server batch queue
+    /// immediately instead of waiting out the flush deadline. A no-op
+    /// when batching is disabled.
+    pub fn flush_batches(&self) {
+        if let Some(b) = &self.batcher {
+            b.flush_all();
+        }
     }
 
     async fn conditional_store(
@@ -524,7 +606,11 @@ impl Client {
             key,
             value,
         };
-        self.post(server, req, wait_sent).await
+        if self.batcher.is_some() {
+            self.enqueue_op(server, req, wait_sent).await
+        } else {
+            self.post(server, req, wait_sent).await
+        }
     }
 
     async fn issue_get(
@@ -540,7 +626,43 @@ impl Client {
             flavor,
             key,
         };
-        self.post(server, req, wait_sent).await
+        if self.batcher.is_some() {
+            self.enqueue_op(server, req, wait_sent).await
+        } else {
+            self.post(server, req, wait_sent).await
+        }
+    }
+
+    /// Batched issue path: register the op and hand it to the coalescing
+    /// queue. Queuing a prepared descriptor is a memory write — the
+    /// `client_issue` cost (descriptor-chain post + doorbell ring) is paid
+    /// once per *frame* by the flush task, which is the doorbell-batching
+    /// win on the client CPU. Send failures surface as error completions
+    /// on the handle (the connection state is not knowable at enqueue
+    /// time).
+    async fn enqueue_op(
+        &self,
+        server: usize,
+        req: Request,
+        wait_for_sent: bool,
+    ) -> Result<ReqHandle, ClientError> {
+        let batcher = self.batcher.as_ref().expect("enqueue_op requires batching");
+        let req_id = req.req_id();
+        let state = ReqState::new(self.sim.now());
+        self.pending.borrow_mut().insert(req_id, Rc::clone(&state));
+        self.stats.borrow_mut().issued += 1;
+        batcher.enqueue(server, req, Rc::clone(&state));
+        if wait_for_sent {
+            // bset/bget semantics: the buffers are reusable once the
+            // carrying frame's send completion fires.
+            wait_sent(&state).await;
+        }
+        Ok(ReqHandle {
+            sim: self.sim.clone(),
+            state,
+            req_id,
+            pending: Rc::clone(&self.pending),
+        })
     }
 
     async fn post(
@@ -549,19 +671,20 @@ impl Client {
         req: Request,
         wait_sent: bool,
     ) -> Result<ReqHandle, ClientError> {
+        // The op starts when the application asks for it; the issue cost
+        // (descriptor post + doorbell) is part of its end-to-end latency,
+        // exactly as on the batched path where the flush pays it.
+        let issue_start = self.sim.now();
         if !self.cfg.costs.client_issue.is_zero() {
             self.sim.sleep(self.cfg.costs.client_issue).await;
         }
-        // Send-queue depth: acquire a slot, released on completion.
-        self.window.acquire().await.forget();
+        // Send-queue depth: acquire a frame slot, released on completion.
+        self.window.acquire().await;
         let req_id = req.req_id();
-        let state = ReqState::new(self.sim.now());
+        let state = ReqState::new(issue_start);
+        state.borrow_mut().slot = Some(WindowSlot::new(Rc::clone(&self.window), 1));
         self.pending.borrow_mut().insert(req_id, Rc::clone(&state));
-        {
-            let mut st = self.stats.borrow_mut();
-            st.issued += 1;
-            st.window_hwm = st.window_hwm.max(self.pending.borrow().len() as u64);
-        }
+        self.stats.borrow_mut().issued += 1;
 
         let payload = req.encode();
         match self.txs[server].send(payload).await {
@@ -569,18 +692,22 @@ impl Client {
                 state.borrow_mut().sent_at = Some(ticket.sent_at());
                 if wait_sent {
                     ticket.wait_sent().await;
+                    let mut s = state.borrow_mut();
+                    s.sent = true;
+                    s.notify.notify_waiters();
                 }
                 Ok(ReqHandle {
                     sim: self.sim.clone(),
                     state,
                     req_id,
                     pending: Rc::clone(&self.pending),
-                    window: Rc::clone(&self.window),
                 })
             }
             Err(_) => {
                 self.pending.borrow_mut().remove(&req_id);
-                self.window.add_permits(1);
+                if let Some(slot) = state.borrow_mut().slot.take() {
+                    slot.member_done();
+                }
                 Err(ClientError::Disconnected)
             }
         }
@@ -807,7 +934,6 @@ struct ProgressTask {
     sim: Sim,
     rx: TransportRx,
     pending: Pending,
-    window: Rc<Semaphore>,
     stats: Rc<RefCell<ClientStats>>,
     costs: CpuCosts,
 }
@@ -819,28 +945,49 @@ impl ProgressTask {
                 Ok(r) => r,
                 Err(_) => continue,
             };
-            // Copy a fetched value into the user's buffer (iget semantics).
-            if let Response::Get { value: Some(v), .. } = &resp {
-                let cost = self.costs.memcpy(v.len());
-                if !cost.is_zero() {
-                    self.sim.sleep(cost).await;
+            match resp {
+                // A batch frame fans out into its member completions in
+                // frame order (decode rejects nested batches, so this
+                // recursion is one level deep by construction).
+                Response::Batch { responses, .. } => {
+                    for member in responses {
+                        self.complete_one(member).await;
+                    }
                 }
+                resp => self.complete_one(resp).await,
             }
-            let state = self.pending.borrow_mut().remove(&resp.req_id());
-            match state {
-                Some(state) => {
+        }
+    }
+
+    /// Complete one member response: copy a fetched value into the user's
+    /// buffer (iget semantics), match it to its pending op, and release
+    /// the op's share of the carrying frame's window slot.
+    async fn complete_one(&self, resp: Response) {
+        if let Response::Get { value: Some(v), .. } = &resp {
+            let cost = self.costs.memcpy(v.len());
+            if !cost.is_zero() {
+                self.sim.sleep(cost).await;
+            }
+        }
+        let state = self.pending.borrow_mut().remove(&resp.req_id());
+        match state {
+            Some(state) => {
+                let slot = {
                     let mut s = state.borrow_mut();
                     s.response = Some(resp);
                     s.done = true;
+                    s.sent = true;
                     s.completed_at = Some(self.sim.now());
                     s.notify.notify_waiters();
-                    drop(s);
-                    self.window.add_permits(1);
-                    self.stats.borrow_mut().completed += 1;
+                    s.slot.take()
+                };
+                if let Some(slot) = slot {
+                    slot.member_done();
                 }
-                None => {
-                    self.stats.borrow_mut().orphans += 1;
-                }
+                self.stats.borrow_mut().completed += 1;
+            }
+            None => {
+                self.stats.borrow_mut().orphans += 1;
             }
         }
     }

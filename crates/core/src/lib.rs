@@ -51,8 +51,8 @@ pub mod server;
 pub mod util;
 
 pub use client::{
-    BackoffSchedule, BreakerConfig, Client, ClientConfig, ClientError, Completion, ReqHandle,
-    ResiliencePolicy,
+    BackoffSchedule, BatchPolicy, BreakerConfig, Client, ClientConfig, ClientError, Completion,
+    ReqHandle, ResiliencePolicy, Ring,
 };
 pub use cluster::{build_cluster, Cluster, ClusterConfig};
 pub use costs::CpuCosts;

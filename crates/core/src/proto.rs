@@ -289,10 +289,40 @@ pub enum Request {
         /// Key bytes.
         key: Bytes,
     },
+    /// A doorbell-batched frame: several independent operations coalesced
+    /// into one fabric message to amortize per-message overhead. Each
+    /// member op keeps its own `req_id` (the client matches completions
+    /// per op) and the server stamps per-op [`StageTimes`]. Batches never
+    /// nest; build via [`Request::batch`] (empty batches are rejected).
+    Batch {
+        /// Frame id (distinct from every member op's id).
+        req_id: u64,
+        /// Issuing API family (decides the server's pipeline routing for
+        /// the whole frame).
+        flavor: ApiFlavor,
+        /// The coalesced member operations.
+        ops: Vec<Request>,
+    },
 }
 
 impl Request {
-    /// The request id.
+    /// Build a batch frame, validating the batching invariants: at least
+    /// one member op, and no nested batches.
+    pub fn batch(req_id: u64, flavor: ApiFlavor, ops: Vec<Request>) -> Result<Request, ProtoError> {
+        if ops.is_empty() {
+            return Err(ProtoError::EmptyBatch);
+        }
+        if ops.iter().any(|op| matches!(op, Request::Batch { .. })) {
+            return Err(ProtoError::NestedBatch);
+        }
+        Ok(Request::Batch {
+            req_id,
+            flavor,
+            ops,
+        })
+    }
+
+    /// The request id (the frame id for a batch).
     pub fn req_id(&self) -> u64 {
         match self {
             Request::Set { req_id, .. }
@@ -300,7 +330,8 @@ impl Request {
             | Request::Delete { req_id, .. }
             | Request::Counter { req_id, .. }
             | Request::Stats { req_id, .. }
-            | Request::Touch { req_id, .. } => *req_id,
+            | Request::Touch { req_id, .. }
+            | Request::Batch { req_id, .. } => *req_id,
         }
     }
 
@@ -312,7 +343,24 @@ impl Request {
             | Request::Delete { flavor, .. }
             | Request::Counter { flavor, .. }
             | Request::Stats { flavor, .. }
-            | Request::Touch { flavor, .. } => *flavor,
+            | Request::Touch { flavor, .. }
+            | Request::Batch { flavor, .. } => *flavor,
+        }
+    }
+
+    /// Exact encoded size in bytes (excluding fabric frame overhead) —
+    /// what the client's coalescing queue uses for its byte threshold
+    /// without encoding twice.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Request::Set { key, value, .. } => 39 + key.len() + value.len(),
+            Request::Get { key, .. } | Request::Delete { key, .. } => 14 + key.len(),
+            Request::Counter { key, .. } => 23 + key.len(),
+            Request::Stats { .. } => 10,
+            Request::Touch { key, .. } => 22 + key.len(),
+            Request::Batch { ops, .. } => {
+                14 + ops.iter().map(|op| 4 + op.wire_len()).sum::<usize>()
+            }
         }
     }
 
@@ -392,6 +440,24 @@ impl Request {
                 b.put_slice(key);
                 b.freeze()
             }
+            Request::Batch {
+                req_id,
+                flavor,
+                ops,
+            } => {
+                debug_assert!(!ops.is_empty(), "empty batch frames are unencodable");
+                let mut b = BytesMut::with_capacity(self.wire_len());
+                b.put_u8(7);
+                b.put_u8(flavor.to_wire());
+                b.put_u64(*req_id);
+                b.put_u32(ops.len() as u32);
+                for op in ops {
+                    let wire = op.encode();
+                    b.put_u32(wire.len() as u32);
+                    b.put_slice(&wire);
+                }
+                b.freeze()
+            }
         }
     }
 
@@ -447,6 +513,27 @@ impl Request {
                 })
             }
             6 => Ok(Request::Stats { req_id, flavor }),
+            7 => {
+                let count = r.u32()? as usize;
+                if count == 0 {
+                    return Err(ProtoError::EmptyBatch);
+                }
+                let mut ops = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let len = r.u32()? as usize;
+                    let wire = r.take(len)?;
+                    let op = Request::decode(&wire)?;
+                    if matches!(op, Request::Batch { .. }) {
+                        return Err(ProtoError::NestedBatch);
+                    }
+                    ops.push(op);
+                }
+                Ok(Request::Batch {
+                    req_id,
+                    flavor,
+                    ops,
+                })
+            }
             2 | 3 => {
                 let key_len = r.u32()? as usize;
                 let key = r.take(key_len)?;
@@ -526,36 +613,75 @@ pub enum Response {
         /// Server stage timings.
         stages: StageTimes,
     },
+    /// A coalesced response frame for (part of) a [`Request::Batch`]: one
+    /// completion wave's member responses in a single fabric message. The
+    /// client matches each member to its op by the member's own `req_id`;
+    /// per-op [`StageTimes`] live in the members. Never nests; build via
+    /// [`Response::batch`].
+    Batch {
+        /// Echoed batch frame id.
+        req_id: u64,
+        /// Member responses completed in this wave.
+        responses: Vec<Response>,
+    },
 }
 
 impl Response {
-    /// The echoed request id.
+    /// Build a batch response frame, validating the batching invariants:
+    /// at least one member, no nesting.
+    pub fn batch(req_id: u64, responses: Vec<Response>) -> Result<Response, ProtoError> {
+        if responses.is_empty() {
+            return Err(ProtoError::EmptyBatch);
+        }
+        if responses
+            .iter()
+            .any(|r| matches!(r, Response::Batch { .. }))
+        {
+            return Err(ProtoError::NestedBatch);
+        }
+        Ok(Response::Batch { req_id, responses })
+    }
+
+    /// The echoed request id (the frame id for a batch).
     pub fn req_id(&self) -> u64 {
         match self {
             Response::Set { req_id, .. }
             | Response::Get { req_id, .. }
             | Response::Delete { req_id, .. }
-            | Response::Counter { req_id, .. } => *req_id,
+            | Response::Counter { req_id, .. }
+            | Response::Batch { req_id, .. } => *req_id,
         }
     }
 
-    /// The operation status.
+    /// The operation status. For a batch frame: [`OpStatus::Error`] if any
+    /// member errored, otherwise [`OpStatus::Hit`] (per-member statuses
+    /// live in the members).
     pub fn status(&self) -> OpStatus {
         match self {
             Response::Set { status, .. }
             | Response::Get { status, .. }
             | Response::Delete { status, .. }
             | Response::Counter { status, .. } => *status,
+            Response::Batch { responses, .. } => {
+                if responses.iter().any(|r| r.status() == OpStatus::Error) {
+                    OpStatus::Error
+                } else {
+                    OpStatus::Hit
+                }
+            }
         }
     }
 
-    /// The server stage timings.
+    /// The server stage timings. A batch frame carries no frame-level
+    /// stamps (each member has its own); it reports the default (unstamped)
+    /// [`StageTimes`].
     pub fn stages(&self) -> StageTimes {
         match self {
             Response::Set { stages, .. }
             | Response::Get { stages, .. }
             | Response::Delete { stages, .. }
             | Response::Counter { stages, .. } => *stages,
+            Response::Batch { .. } => StageTimes::default(),
         }
     }
 
@@ -612,6 +738,19 @@ impl Response {
                 b.put_u64(*value);
                 b.freeze()
             }
+            Response::Batch { req_id, responses } => {
+                debug_assert!(!responses.is_empty(), "empty batch frames are unencodable");
+                let mut b = BytesMut::with_capacity(14 + responses.len() * 96);
+                b.put_u8(133);
+                b.put_u64(*req_id);
+                b.put_u32(responses.len() as u32);
+                for resp in responses {
+                    let wire = resp.encode();
+                    b.put_u32(wire.len() as u32);
+                    b.put_slice(&wire);
+                }
+                b.freeze()
+            }
         }
     }
 
@@ -619,6 +758,24 @@ impl Response {
     pub fn decode(buf: &Bytes) -> Result<Response, ProtoError> {
         let mut r = Reader::new(buf);
         let opcode = r.u8()?;
+        if opcode == 133 {
+            let req_id = r.u64()?;
+            let count = r.u32()? as usize;
+            if count == 0 {
+                return Err(ProtoError::EmptyBatch);
+            }
+            let mut responses = Vec::with_capacity(count);
+            for _ in 0..count {
+                let len = r.u32()? as usize;
+                let wire = r.take(len)?;
+                let resp = Response::decode(&wire)?;
+                if matches!(resp, Response::Batch { .. }) {
+                    return Err(ProtoError::NestedBatch);
+                }
+                responses.push(resp);
+            }
+            return Ok(Response::Batch { req_id, responses });
+        }
         let status = OpStatus::from_wire(r.u8()?)?;
         let req_id = r.u64()?;
         let stages = read_stages(&mut r)?;
@@ -718,6 +875,10 @@ pub enum ProtoError {
     BadServedFrom(u8),
     /// Unknown set-mode byte.
     BadSetMode(u8),
+    /// A batch frame with zero member operations.
+    EmptyBatch,
+    /// A batch frame nested inside another batch frame.
+    NestedBatch,
 }
 
 impl fmt::Display for ProtoError {
@@ -729,6 +890,8 @@ impl fmt::Display for ProtoError {
             ProtoError::BadStatus(b) => write!(f, "unknown status {b}"),
             ProtoError::BadServedFrom(b) => write!(f, "unknown served-from {b}"),
             ProtoError::BadSetMode(b) => write!(f, "unknown set mode {b}"),
+            ProtoError::EmptyBatch => write!(f, "empty batch frame"),
+            ProtoError::NestedBatch => write!(f, "nested batch frame"),
         }
     }
 }
@@ -947,6 +1110,175 @@ mod tests {
     fn stage_totals_sum() {
         let s = stages();
         assert_eq!(s.server_total_ns(), 123 + 456 + 789 + 42);
+    }
+
+    fn member_ops() -> Vec<Request> {
+        vec![
+            Request::Get {
+                req_id: 101,
+                flavor: ApiFlavor::NonBlockingI,
+                key: Bytes::from_static(b"a"),
+            },
+            Request::Set {
+                req_id: 102,
+                flavor: ApiFlavor::NonBlockingI,
+                mode: SetMode::Set,
+                flags: 1,
+                expire_at_ns: 0,
+                key: Bytes::from_static(b"b"),
+                value: Bytes::from(vec![3u8; 64]),
+            },
+            Request::Delete {
+                req_id: 103,
+                flavor: ApiFlavor::NonBlockingI,
+                key: Bytes::from_static(b"c"),
+            },
+        ]
+    }
+
+    #[test]
+    fn batch_request_round_trips_with_per_op_ids() {
+        let req = Request::batch(9000, ApiFlavor::NonBlockingI, member_ops()).unwrap();
+        let wire = req.encode();
+        assert_eq!(wire[0], 7);
+        assert_eq!(wire.len(), req.wire_len());
+        let decoded = Request::decode(&wire).unwrap();
+        assert_eq!(decoded, req);
+        if let Request::Batch { ops, .. } = decoded {
+            assert_eq!(
+                ops.iter().map(|op| op.req_id()).collect::<Vec<_>>(),
+                vec![101, 102, 103],
+                "member req-ids survive the frame"
+            );
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn empty_batch_rejected_at_encode_and_decode() {
+        assert_eq!(
+            Request::batch(1, ApiFlavor::NonBlockingI, Vec::new()),
+            Err(ProtoError::EmptyBatch)
+        );
+        assert_eq!(Response::batch(1, Vec::new()), Err(ProtoError::EmptyBatch));
+        // A hand-rolled zero-count frame is rejected at decode too.
+        let mut b = bytes::BytesMut::new();
+        b.put_u8(7);
+        b.put_u8(1);
+        b.put_u64(1);
+        b.put_u32(0);
+        assert_eq!(
+            Request::decode(&b.freeze()),
+            Err(ProtoError::EmptyBatch),
+            "zero-count request frame"
+        );
+        let mut b = bytes::BytesMut::new();
+        b.put_u8(133);
+        b.put_u64(1);
+        b.put_u32(0);
+        assert_eq!(
+            Response::decode(&b.freeze()),
+            Err(ProtoError::EmptyBatch),
+            "zero-count response frame"
+        );
+    }
+
+    #[test]
+    fn nested_batches_rejected() {
+        let inner = Request::batch(1, ApiFlavor::NonBlockingI, member_ops()).unwrap();
+        assert_eq!(
+            Request::batch(2, ApiFlavor::NonBlockingI, vec![inner]),
+            Err(ProtoError::NestedBatch)
+        );
+        let inner = Response::batch(
+            1,
+            vec![Response::Set {
+                req_id: 5,
+                status: OpStatus::Stored,
+                stages: stages(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(
+            Response::batch(2, vec![inner]),
+            Err(ProtoError::NestedBatch)
+        );
+    }
+
+    #[test]
+    fn batch_response_round_trips_and_truncation_rejected() {
+        let resp = Response::batch(
+            9000,
+            vec![
+                Response::Get {
+                    req_id: 101,
+                    status: OpStatus::Hit,
+                    stages: stages(),
+                    flags: 0,
+                    cas: 1,
+                    value: Some(Bytes::from(vec![7u8; 20])),
+                },
+                Response::Set {
+                    req_id: 102,
+                    status: OpStatus::Stored,
+                    stages: stages(),
+                },
+            ],
+        )
+        .unwrap();
+        let wire = resp.encode();
+        assert_eq!(wire[0], 133);
+        assert_eq!(Response::decode(&wire).unwrap(), resp);
+        assert_eq!(resp.req_id(), 9000);
+        assert_eq!(resp.status(), OpStatus::Hit);
+        for cut in [0, 1, 8, 13, 20, wire.len() - 1] {
+            assert_eq!(
+                Response::decode(&wire.slice(..cut)),
+                Err(ProtoError::Truncated),
+                "cut={cut}"
+            );
+        }
+
+        let req = Request::batch(9000, ApiFlavor::NonBlockingB, member_ops()).unwrap();
+        let wire = req.encode();
+        for cut in [1, 10, 13, 17, wire.len() - 1] {
+            assert_eq!(
+                Request::decode(&wire.slice(..cut)),
+                Err(ProtoError::Truncated),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_len_matches_encoding_for_all_variants() {
+        let reqs = {
+            let mut v = member_ops();
+            v.push(Request::Counter {
+                req_id: 104,
+                flavor: ApiFlavor::Block,
+                key: Bytes::from_static(b"ctr"),
+                delta: 3,
+                negative: true,
+            });
+            v.push(Request::Stats {
+                req_id: 105,
+                flavor: ApiFlavor::Block,
+            });
+            v.push(Request::Touch {
+                req_id: 106,
+                flavor: ApiFlavor::Block,
+                key: Bytes::from_static(b"t"),
+                expire_at_ns: 9,
+            });
+            let members = member_ops();
+            v.push(Request::batch(107, ApiFlavor::NonBlockingI, members).unwrap());
+            v
+        };
+        for req in reqs {
+            assert_eq!(req.encode().len(), req.wire_len(), "{req:?}");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   design that lets expensive hybrid-memory eviction overlap with
 //!   request arrival.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -72,19 +72,23 @@ impl ServerConfig {
 /// Server counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ServerStats {
-    /// Requests received.
+    /// Requests received (member ops of a batch frame each count once).
     pub requests: u64,
     /// Requests handled inline on the dispatcher.
     pub inline_handled: u64,
     /// Requests staged for the worker pool.
     pub staged: u64,
-    /// Responses sent.
+    /// Response frames sent (a coalesced batch response counts once).
     pub responses: u64,
     /// Undecodable messages dropped.
     pub proto_errors: u64,
     /// Requests that arrived while a slab-eviction flush was in flight —
     /// the comm/memory overlap the non-blocking pipeline creates.
     pub recv_during_flush: u64,
+    /// Batch frames received.
+    pub batches: u64,
+    /// Member ops carried inside those batch frames.
+    pub batch_ops: u64,
 }
 
 /// Full server observability snapshot, served over the wire by the
@@ -101,9 +105,65 @@ pub struct StatsSnapshot {
 
 struct Staged {
     req: Request,
-    tx: TransportTx,
+    sink: RespSink,
     slot: nbkv_simrt::Permit,
     stamps: PhaseStamps,
+}
+
+/// Where a staged request's response goes: straight back on the wire, or
+/// into a per-frame assembler that coalesces completions into batch
+/// response frames.
+enum RespSink {
+    Direct(TransportTx),
+    Batch(Rc<BatchAssembler>),
+}
+
+impl RespSink {
+    fn profile(&self) -> &FabricProfile {
+        match self {
+            RespSink::Direct(tx) => tx.profile(),
+            RespSink::Batch(asm) => asm.tx.profile(),
+        }
+    }
+}
+
+/// Coalesces member completions of one batch frame into response frames,
+/// one per *completion wave* (up to `wave_size` members): responses
+/// amortize the same per-message overhead the request side saved, while a
+/// straggler op (e.g. an SSD read) cannot hold back members that already
+/// finished — the wave that is full ships without it.
+struct BatchAssembler {
+    frame_id: u64,
+    tx: TransportTx,
+    remaining: Cell<usize>,
+    wave: RefCell<Vec<Response>>,
+    wave_size: usize,
+}
+
+impl BatchAssembler {
+    fn new(frame_id: u64, tx: TransportTx, members: usize, wave_size: usize) -> Rc<Self> {
+        Rc::new(BatchAssembler {
+            frame_id,
+            tx,
+            remaining: Cell::new(members),
+            wave: RefCell::new(Vec::new()),
+            wave_size: wave_size.max(1),
+        })
+    }
+
+    /// Record one completed member; returns a coalesced frame when a wave
+    /// fills or the last member lands.
+    fn push(&self, resp: Response) -> Option<Response> {
+        self.wave.borrow_mut().push(resp);
+        let left = self.remaining.get() - 1;
+        self.remaining.set(left);
+        if left == 0 || self.wave.borrow().len() >= self.wave_size {
+            let wave = std::mem::take(&mut *self.wave.borrow_mut());
+            Some(Response::batch(self.frame_id, wave).expect("wave holds at least one response"))
+        } else {
+            None
+        }
+    }
 }
 
 /// Lifecycle stamps collected on the communication path and carried into
@@ -229,9 +289,24 @@ impl Server {
                 return;
             }
         };
-        self.stats.borrow_mut().requests += 1;
         let recv_at = self.sim.now();
         let overlapped = self.store.flushes_in_flight() > 0;
+        if let Request::Batch { req_id, ops, .. } = req {
+            {
+                let n = ops.len() as u64;
+                let mut st = self.stats.borrow_mut();
+                st.requests += n;
+                st.batches += 1;
+                st.batch_ops += n;
+                if overlapped {
+                    st.recv_during_flush += n;
+                }
+            }
+            self.handle_batch(req_id, ops, tx, recv_at, overlapped)
+                .await;
+            return;
+        }
+        self.stats.borrow_mut().requests += 1;
         if overlapped {
             self.stats.borrow_mut().recv_during_flush += 1;
         }
@@ -250,7 +325,7 @@ impl Server {
             };
             self.staging_q.borrow_mut().push_back(Staged {
                 req,
-                tx: tx.clone(),
+                sink: RespSink::Direct(tx.clone()),
                 slot,
                 stamps,
             });
@@ -272,6 +347,63 @@ impl Server {
         }
     }
 
+    /// Fan a batch frame's member ops into the request pipeline. The
+    /// frame pays the dispatcher (network phase) *once* — the server half
+    /// of the doorbell win. Pipelined members stage individually so they
+    /// interleave with other traffic in the worker pool; their responses
+    /// coalesce back into batch frames per completion wave. On the inline
+    /// path the members run sequentially under the dispatcher and answer
+    /// as one frame.
+    async fn handle_batch(
+        self: &Rc<Self>,
+        frame_id: u64,
+        ops: Vec<Request>,
+        tx: &TransportTx,
+        recv_at: nbkv_simrt::SimTime,
+        overlapped: bool,
+    ) {
+        let n = ops.len();
+        let pipelined = self.cfg.pipeline && ops.iter().all(|op| op.flavor().is_nonblocking());
+        if pipelined {
+            {
+                let _d = self.dispatcher.acquire().await;
+                self.charge_dispatch().await;
+            }
+            let stamps = PhaseStamps {
+                recv_at,
+                comm_done_at: self.sim.now(),
+                overlapped,
+            };
+            let asm = BatchAssembler::new(frame_id, tx.clone(), n, self.cfg.workers.max(1));
+            for op in ops {
+                let slot = self.staging_slots.acquire().await;
+                self.staging_q.borrow_mut().push_back(Staged {
+                    req: op,
+                    sink: RespSink::Batch(Rc::clone(&asm)),
+                    slot,
+                    stamps,
+                });
+                self.staging_items.add_permits(1);
+                self.stats.borrow_mut().staged += 1;
+            }
+        } else {
+            let _d = self.dispatcher.acquire().await;
+            self.charge_dispatch().await;
+            self.stats.borrow_mut().inline_handled += n as u64;
+            let stamps = PhaseStamps {
+                recv_at,
+                comm_done_at: self.sim.now(),
+                overlapped,
+            };
+            let mut responses = Vec::with_capacity(n);
+            for op in ops {
+                responses.push(self.process(op, tx.profile(), stamps).await);
+            }
+            let resp = Response::batch(frame_id, responses).expect("decoded batches are non-empty");
+            self.send_response(tx, resp).await;
+        }
+    }
+
     async fn worker_loop(self: Rc<Self>) {
         loop {
             self.staging_items.acquire().await.forget();
@@ -281,10 +413,17 @@ impl Server {
                 .pop_front()
                 .expect("staging item permit implies a queued request");
             let resp = self
-                .process(staged.req, staged.tx.profile(), staged.stamps)
+                .process(staged.req, staged.sink.profile(), staged.stamps)
                 .await;
             drop(staged.slot); // free the staging slot before the send
-            self.send_response(&staged.tx, resp).await;
+            match staged.sink {
+                RespSink::Direct(tx) => self.send_response(&tx, resp).await,
+                RespSink::Batch(asm) => {
+                    if let Some(frame) = asm.push(resp) {
+                        self.send_response(&asm.tx, frame).await;
+                    }
+                }
+            }
         }
     }
 
@@ -378,6 +517,24 @@ impl Server {
                 Response::Set {
                     req_id,
                     status: out.status,
+                    stages: self.finish_stages(out, profile, 0, stamps),
+                }
+            }
+            // Batches are fanned out in `handle_batch` before `process`,
+            // and nested batches cannot decode; answer defensively
+            // instead of panicking the sim.
+            Request::Batch { req_id, .. } => {
+                let out = OpOutcome {
+                    status: crate::proto::OpStatus::Error,
+                    value: None,
+                    flags: 0,
+                    cas: 0,
+                    counter: 0,
+                    stages: StageTimes::default(),
+                };
+                Response::Set {
+                    req_id,
+                    status: crate::proto::OpStatus::Error,
                     stages: self.finish_stages(out, profile, 0, stamps),
                 }
             }

@@ -293,6 +293,13 @@ impl SlabPool {
         }
     }
 
+    /// True if `page` is out of circulation (mid-flush or retired) and
+    /// must not re-enter any eviction LRU.
+    pub fn page_out_of_circulation(&self, page: u32) -> bool {
+        let p = &self.pages[page as usize];
+        p.flushing || p.retired
+    }
+
     /// Begin flushing `page`: it leaves LRU/alloc circulation. Its free
     /// chunks are withdrawn from the class free list. Returns the class.
     pub fn begin_flush(&mut self, page: u32) -> usize {

@@ -803,7 +803,13 @@ impl HybridStore {
     fn touch_lru(&self, class: usize, id: u64) {
         let (page, _) = unpack_item_id(id);
         self.item_lru.borrow_mut()[class].insert(id, ());
-        self.page_lru.borrow_mut()[class].insert(page, ());
+        // A touch must not put a mid-flush (or retired) page back into
+        // eviction circulation: a later flush_lru_page would pop it and
+        // double-flush. Items on such pages are still readable; the page
+        // itself is already on its way out.
+        if !self.pool.borrow().page_out_of_circulation(page) {
+            self.page_lru.borrow_mut()[class].insert(page, ());
+        }
     }
 
     /// Drop index bookkeeping for a superseded/removed meta.

@@ -104,6 +104,12 @@ pub struct WorkloadSpec {
     pub miss_penalty: Duration,
     /// Re-cache the backend value after a miss (paper's behaviour).
     pub recache_on_miss: bool,
+    /// Batched issue group size for the non-blocking flavours: issue this
+    /// many ops back to back, ring the client's batching doorbell, then
+    /// reap the group (Listing 2's bursty shape). `0` or `1` issues
+    /// per-op. Only effective when the client was built with
+    /// [`nbkv_core::BatchPolicy`] configured.
+    pub batch: usize,
 }
 
 impl WorkloadSpec {
@@ -120,6 +126,7 @@ impl WorkloadSpec {
             seed: 42,
             miss_penalty: BackendDb::default_penalty(),
             recache_on_miss: true,
+            batch: 0,
         }
     }
 }
@@ -289,6 +296,7 @@ pub async fn run_workload(sim: &Sim, client: &Rc<Client>, spec: &WorkloadSpec) -
             )
             .await
         }
+        _ if spec.batch > 1 => execute_batched(sim, client, &plan, &pool, spec.batch).await,
         flavor => execute_nonblocking(sim, client, &plan, &pool, flavor, spec.window).await,
     }
 }
@@ -472,6 +480,85 @@ async fn execute_nonblocking(
     let elapsed = ns_between(start, sim.now());
 
     // Per-op visible cost = own issue time + amortized completion wait.
+    let amortized_wait = wait_blocked / plan.len().max(1) as u64;
+    let mut rec = LatencyRecorder::new();
+    let mut agg = StageAggregator::new();
+    for issue in issue_ns_per_op {
+        let visible = issue + amortized_wait;
+        rec.record(visible);
+        agg.record_nonblocking(visible);
+    }
+    finish_report(
+        plan.len(),
+        elapsed,
+        rec,
+        agg,
+        counters,
+        0,
+        issue_blocked,
+        wait_blocked,
+    )
+}
+
+/// Batched access pattern: issue `group` ops back to back through the
+/// non-blocking I-variants, ring the client's batching doorbell, then reap
+/// the whole group — Listing 2's bursty issue-then-wait shape, shaped to
+/// feed the client's coalescing queues. The group reap waits for
+/// completions, which subsumes the B-variants' buffer-reuse guarantee at
+/// group granularity, so both non-blocking flavours issue identically
+/// here. Deletes have no non-blocking variant and run blocking.
+async fn execute_batched(
+    sim: &Sim,
+    client: &Rc<Client>,
+    plan: &[PlannedOp],
+    pool: &ValuePool,
+    group: usize,
+) -> RunReport {
+    let mut counters = Counters::default();
+    let mut issue_ns_per_op: Vec<u64> = Vec::with_capacity(plan.len());
+    let mut issue_blocked = 0u64;
+    let mut wait_blocked = 0u64;
+    let reap_deadline = client.policy().deadline;
+
+    let start = sim.now();
+    let mut op_idx = 0usize;
+    for chunk in plan.chunks(group.max(1)) {
+        let mut handles: Vec<ReqHandle> = Vec::with_capacity(chunk.len());
+        for op in chunk {
+            let t0 = sim.now();
+            let issued = match op {
+                PlannedOp::Set { key } => {
+                    client.iset(key.clone(), pool.value(op_idx), 0, None).await
+                }
+                PlannedOp::Get { key } => client.iget(key.clone()).await,
+                PlannedOp::Delete { key } => {
+                    match client.delete(key.clone()).await {
+                        Ok(c) => counters.record_timeline(&c),
+                        Err(e) => counters.count_error(&e),
+                    }
+                    let issue = ns(sim, t0);
+                    issue_blocked += issue;
+                    issue_ns_per_op.push(issue);
+                    op_idx += 1;
+                    continue;
+                }
+            };
+            let issue = ns(sim, t0);
+            issue_blocked += issue;
+            issue_ns_per_op.push(issue);
+            op_idx += 1;
+            match issued {
+                Ok(handle) => handles.push(handle),
+                Err(e) => counters.count_error(&e),
+            }
+        }
+        client.flush_batches();
+        for h in handles {
+            wait_blocked += reap(sim, h, reap_deadline, &mut counters).await;
+        }
+    }
+    let elapsed = ns_between(start, sim.now());
+
     let amortized_wait = wait_blocked / plan.len().max(1) as u64;
     let mut rec = LatencyRecorder::new();
     let mut agg = StageAggregator::new();

@@ -41,6 +41,7 @@ fn run_tier(design: Design) -> nbkv::workload::RunReport {
             seed: 7,
             miss_penalty: std::time::Duration::from_millis(2),
             recache_on_miss: true,
+            batch: 0,
         };
         run_workload(&sim2, &client, &spec).await
     })

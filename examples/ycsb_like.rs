@@ -34,6 +34,7 @@ fn run(design: Design, mix: OpMix) -> RunReport {
             seed: 2024,
             miss_penalty: std::time::Duration::from_millis(2),
             recache_on_miss: true,
+            batch: 0,
         };
         run_workload(&sim2, &client, &spec).await
     });

@@ -31,6 +31,7 @@ fn run(design: Design, data_bytes: u64, mix: OpMix, ops: usize) -> RunReport {
             seed: 11,
             miss_penalty: std::time::Duration::from_millis(2),
             recache_on_miss: true,
+            batch: 0,
         };
         run_workload(&sim2, &client, &spec).await
     });
@@ -175,6 +176,7 @@ fn nvme_narrows_the_def_gap() {
                 seed: 11,
                 miss_penalty: std::time::Duration::from_millis(2),
                 recache_on_miss: true,
+                batch: 0,
             };
             run_workload(&sim2, &client, &spec).await
         });
