@@ -19,6 +19,7 @@ fn main() {
         ("fig8b", nbkv_bench::figs::fig8b::run),
         ("phases", nbkv_bench::figs::phases::run),
         ("batch", nbkv_bench::figs::batch::run),
+        ("onesided", nbkv_bench::figs::onesided::run),
     ];
     for (name, run) in figures {
         eprintln!("[all] running {name} ...");

@@ -46,7 +46,8 @@ fn main() {
     if args.0.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "flags: --design <label> --mem-mb N --data-mb N --value-kb N --ops N \
-             --read-pct N --device sata|nvme --servers N --clients N --window N"
+             --read-pct N --device sata|nvme --servers N --clients N --window N \
+             --direct off|always|adaptive"
         );
         println!("designs: {}", Design::ALL.map(|d| d.label()).join(", "));
         return;
@@ -78,6 +79,12 @@ fn main() {
         window: args.num("--window", 64usize).max(1),
         ssd_capacity: 16 * mem,
         batch: 0,
+        direct: match args.get("--direct") {
+            Some("always") => nbkv_core::DirectPolicy::Always,
+            Some("adaptive") => nbkv_core::DirectPolicy::Adaptive,
+            _ => nbkv_core::DirectPolicy::Off,
+        },
+        onesided: None,
     };
 
     eprintln!(

@@ -1,0 +1,12 @@
+//! One-sided GET comparison: always-RPC vs always-direct vs adaptive.
+
+use nbkv_bench::manifest::Manifest;
+
+fn main() {
+    nbkv_bench::figs::banner("onesided");
+    let mut m = Manifest::new("onesided");
+    for t in nbkv_bench::figs::onesided::run(&mut m) {
+        t.emit();
+    }
+    m.emit();
+}

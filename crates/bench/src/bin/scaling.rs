@@ -23,6 +23,8 @@ fn run_point(design: Design, servers: usize) -> RunReport {
         window: 32,
         ssd_capacity: 4 * agg_mem / servers as u64,
         batch: 0,
+        direct: nbkv_core::DirectPolicy::Off,
+        onesided: None,
     }
     .run()
 }

@@ -4,6 +4,7 @@ use std::rc::Rc;
 
 use nbkv_core::cluster::{build_cluster, Cluster, ClusterConfig};
 use nbkv_core::designs::Design;
+use nbkv_core::DirectPolicy;
 use nbkv_obs::Registry;
 use nbkv_simrt::{join_all, Sim};
 use nbkv_storesim::DeviceProfile;
@@ -64,6 +65,13 @@ pub struct LatencyExp {
     /// are built with the default [`nbkv_core::BatchPolicy`] and the
     /// workload drives the batched access pattern.
     pub batch: usize,
+    /// One-sided direct-read policy for GETs (servers publish an index
+    /// window whenever this is not [`DirectPolicy::Off`]).
+    pub direct: DirectPolicy,
+    /// Geometry of the published window (`None` = server default). Lets
+    /// read-heavy figures size buckets to the key count so fingerprint
+    /// collisions do not dominate the direct-hit rate.
+    pub onesided: Option<nbkv_core::OneSidedConfig>,
 }
 
 impl LatencyExp {
@@ -83,6 +91,8 @@ impl LatencyExp {
             window: 64,
             ssd_capacity: 16 * mem_bytes,
             batch: 0,
+            direct: DirectPolicy::Off,
+            onesided: None,
         }
     }
 
@@ -95,6 +105,8 @@ impl LatencyExp {
         if self.batch > 1 {
             cfg.client.batch = Some(nbkv_core::BatchPolicy::default());
         }
+        cfg.client.direct = self.direct;
+        cfg.onesided = self.onesided;
         cfg
     }
 
@@ -214,6 +226,15 @@ pub fn cluster_registry(cluster: &Cluster) -> Registry {
         reg.inc("client.flush_on_size", st.flush_on_size);
         reg.inc("client.flush_on_deadline", st.flush_on_deadline);
         reg.inc("client.flush_on_doorbell", st.flush_on_doorbell);
+        reg.inc("client.direct_hits", st.direct_hits);
+        reg.inc("client.stale_retries", st.stale_retries);
+        reg.inc("client.ssd_fallbacks", st.ssd_fallbacks);
+        reg.inc("client.direct_lost", st.direct_lost);
+        reg.inc("client.mode_flips", st.mode_flips);
+        let mr = c.mr_stats();
+        reg.inc("client.mr_hits", mr.hits);
+        reg.inc("client.mr_misses", mr.misses);
+        reg.gauge_max("client.mr_registered_bytes", mr.registered_bytes as i64);
         let hist = c.ops_per_batch();
         if hist.count() > 0 {
             reg.merge_hist("client.ops_per_batch", &hist);

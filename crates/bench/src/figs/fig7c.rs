@@ -33,6 +33,8 @@ pub fn run_design(design: Design) -> RunReport {
         window: 32,
         ssd_capacity: agg_ssd / SERVERS as u64,
         batch: 0,
+        direct: nbkv_core::DirectPolicy::Off,
+        onesided: None,
     }
     .run()
 }

@@ -15,6 +15,7 @@ pub mod fig7b;
 pub mod fig7c;
 pub mod fig8a;
 pub mod fig8b;
+pub mod onesided;
 pub mod phases;
 pub mod table1;
 

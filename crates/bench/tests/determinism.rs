@@ -26,6 +26,17 @@ fn render_once() -> String {
     let (r, cluster_reg) = exp.run_obs();
     let reg = m.record_report("batched", &r);
     reg.merge(&cluster_reg);
+    // An adaptive one-sided run: lease fetches, chained RDMA reads,
+    // seqlock validation, and EWMA-driven mode flips must replay
+    // bit-for-bit too.
+    let mut exp = LatencyExp::single(Design::HRdmaOptNonBI, 8 << 20, 4 << 20);
+    exp.ops_per_client = 300;
+    exp.value_len = 1 << 10;
+    exp.mix = nbkv_workload::OpMix { read_pct: 90 };
+    exp.direct = nbkv_core::DirectPolicy::Adaptive;
+    let (r, cluster_reg) = exp.run_obs();
+    let reg = m.record_report("onesided", &r);
+    reg.merge(&cluster_reg);
     m.render()
 }
 
@@ -51,5 +62,9 @@ fn manifests_are_byte_identical_across_runs() {
     assert!(
         a.contains("client.ops_per_batch"),
         "manifest must include the batched run's ops-per-frame histogram"
+    );
+    assert!(
+        a.contains("client.direct_hits"),
+        "manifest must include the one-sided run's direct-read counters"
     );
 }

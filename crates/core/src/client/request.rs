@@ -166,6 +166,10 @@ pub(crate) struct ReqState {
     /// `bset`/`bget` buffer-reuse point). `notify` fires on this
     /// transition too.
     pub(crate) sent: bool,
+    /// True if this op started as a one-sided direct read and fell back
+    /// to RPC — its end-to-end latency includes the failed direct attempt
+    /// and must not feed the adaptive policy's RPC-latency EWMA.
+    pub(crate) direct_fallback: bool,
 }
 
 impl ReqState {
@@ -179,6 +183,7 @@ impl ReqState {
             completed_at: None,
             slot: None,
             sent: false,
+            direct_fallback: false,
         }))
     }
 }

@@ -30,17 +30,20 @@ use std::task::Poll;
 use std::time::Duration;
 
 use bytes::Bytes;
-use nbkv_fabric::{MrCache, Transport, TransportRx, TransportTx};
+use nbkv_fabric::{MrCache, QueuePair, Transport, TransportRx, TransportTx};
 use nbkv_simrt::Sim;
 
 use crate::client::batch::{BatchPolicy, Batcher};
+use crate::client::onesided::{DirectOutcome, DirectPolicy, DirectReadEngine};
 use crate::client::request::{
     wait_sent, Completion, Pending, ReqHandle, ReqState, SendWindow, WindowSlot,
 };
 use crate::client::resilience::{Breaker, ResiliencePolicy};
 use crate::client::ring::Ring;
 use crate::costs::CpuCosts;
-use crate::proto::{ApiFlavor, OpStatus, Request, Response, SetMode};
+use crate::proto::{
+    ApiFlavor, LeaseGeometry, OpStatus, Request, Response, ServedFrom, SetMode, StageTimes,
+};
 
 /// Client configuration.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +60,10 @@ pub struct ClientConfig {
     /// frames under the given flush policy. `None` (default) sends one
     /// frame per op.
     pub batch: Option<BatchPolicy>,
+    /// One-sided server-bypass GET policy. Anything other than
+    /// [`DirectPolicy::Off`] requires queue pairs bound to the servers'
+    /// index windows (see [`Client::new_with_onesided`]).
+    pub direct: DirectPolicy,
 }
 
 impl Default for ClientConfig {
@@ -66,6 +73,7 @@ impl Default for ClientConfig {
             costs: CpuCosts::default_costs(),
             resilience: ResiliencePolicy::default(),
             batch: None,
+            direct: DirectPolicy::Off,
         }
     }
 }
@@ -150,6 +158,18 @@ pub struct ClientStats {
     pub flush_on_deadline: u64,
     /// Flushes triggered by an explicit [`Client::flush_batches`] doorbell.
     pub flush_on_doorbell: u64,
+    /// GETs served entirely by one-sided RDMA reads (server CPU bypassed).
+    pub direct_hits: u64,
+    /// Direct reads that lost a seqlock race with a writer and fell back
+    /// to RPC.
+    pub stale_retries: u64,
+    /// Direct reads that found the value SSD-resident and fell back.
+    pub ssd_fallbacks: u64,
+    /// Direct reads whose completion never arrived (fault injection or a
+    /// dead link) before falling back.
+    pub direct_lost: u64,
+    /// Adaptive-policy mode changes (RPC↔direct), across all servers.
+    pub mode_flips: u64,
 }
 
 /// A Memcached client bound to one or more servers.
@@ -165,19 +185,52 @@ pub struct Client {
     stats: Rc<RefCell<ClientStats>>,
     breakers: Vec<Breaker>,
     batcher: Option<Rc<Batcher>>,
+    directs: Vec<Option<Rc<DirectReadEngine>>>,
 }
 
 impl Client {
     /// Build a client over connected transports (one per server) and spawn
     /// a progress task per connection.
     pub fn new(sim: &Sim, transports: Vec<Transport>, cfg: ClientConfig) -> Rc<Client> {
+        Client::new_with_onesided(sim, transports, Vec::new(), cfg)
+    }
+
+    /// Like [`Client::new`], but additionally binds one-sided queue pairs
+    /// (client halves, windows already bound to the servers' published
+    /// index regions; `None` per server without one). With
+    /// [`ClientConfig::direct`] non-[`Off`](DirectPolicy::Off) the client
+    /// fetches each server's window lease in the background and serves
+    /// eligible GETs with direct RDMA reads.
+    pub fn new_with_onesided(
+        sim: &Sim,
+        transports: Vec<Transport>,
+        qps: Vec<Option<QueuePair>>,
+        cfg: ClientConfig,
+    ) -> Rc<Client> {
         assert!(!transports.is_empty(), "client needs at least one server");
         let profile = *transports[0].profile();
         let pending: Pending = Rc::new(RefCell::new(HashMap::new()));
         let window = SendWindow::new(cfg.max_outstanding);
         let stats = Rc::new(RefCell::new(ClientStats::default()));
-        let mut txs = Vec::with_capacity(transports.len());
-        for t in transports {
+        let n = transports.len();
+        let mut qps = qps;
+        qps.resize_with(n, || None);
+        let directs: Vec<Option<Rc<DirectReadEngine>>> = qps
+            .into_iter()
+            .map(|qp| match (qp, cfg.direct) {
+                (_, DirectPolicy::Off) | (None, _) => None,
+                (Some(qp), policy) => Some(Rc::new(DirectReadEngine::new(
+                    sim.clone(),
+                    Rc::new(qp),
+                    policy,
+                    &profile,
+                    cfg.costs.dispatch,
+                    cfg.resilience.deadline,
+                ))),
+            })
+            .collect();
+        let mut txs = Vec::with_capacity(n);
+        for (i, t) in transports.into_iter().enumerate() {
             let (tx, rx) = t.split();
             txs.push(tx);
             let task = ProgressTask {
@@ -186,6 +239,7 @@ impl Client {
                 pending: Rc::clone(&pending),
                 stats: Rc::clone(&stats),
                 costs: cfg.costs,
+                direct: directs[i].clone(),
             };
             sim.spawn(task.run());
         }
@@ -204,7 +258,7 @@ impl Client {
                 cfg.costs.client_issue,
             )
         });
-        Rc::new(Client {
+        let client = Rc::new(Client {
             sim: sim.clone(),
             cfg,
             txs,
@@ -216,7 +270,51 @@ impl Client {
             stats,
             breakers,
             batcher,
-        })
+            directs,
+        });
+        // Fetch each one-sided server's window lease in the background; a
+        // GET that races ahead of the handshake just takes the RPC path.
+        for (i, e) in client.directs.iter().enumerate() {
+            if e.is_some() {
+                let c = Rc::clone(&client);
+                sim.spawn(async move { c.fetch_lease(i).await });
+            }
+        }
+        client
+    }
+
+    /// Window-lease handshake for server `server`: one blocking RPC whose
+    /// response carries the server's [`LeaseGeometry`], or a Miss when the
+    /// server publishes no window.
+    async fn fetch_lease(&self, server: usize) {
+        let Some(engine) = self.directs[server].clone() else {
+            return;
+        };
+        let req = Request::WindowLease {
+            req_id: self.alloc_req_id(),
+            flavor: ApiFlavor::Block,
+        };
+        let Ok(h) = self.post(server, req, false).await else {
+            engine.mark_no_window();
+            return;
+        };
+        let deadline = self
+            .cfg
+            .resilience
+            .deadline
+            .unwrap_or(Duration::from_millis(500));
+        let Ok(done) = h.wait_timeout(deadline).await else {
+            engine.mark_no_window();
+            return;
+        };
+        match done
+            .value
+            .as_ref()
+            .and_then(|v| LeaseGeometry::decode(v).ok())
+        {
+            Some(lease) if done.status == OpStatus::Hit => engine.install_lease(lease),
+            _ => engine.mark_no_window(),
+        }
     }
 
     /// The resilience policy in force.
@@ -233,6 +331,14 @@ impl Client {
     pub fn stats(&self) -> ClientStats {
         let mut st = *self.stats.borrow();
         st.window_hwm = self.window.hwm();
+        for e in self.directs.iter().flatten() {
+            let (hits, stale, ssd, lost, flips) = e.counters();
+            st.direct_hits += hits;
+            st.stale_retries += stale;
+            st.ssd_fallbacks += ssd;
+            st.direct_lost += lost;
+            st.mode_flips += flips;
+        }
         st
     }
 
@@ -253,6 +359,15 @@ impl Client {
     /// Registration-cache statistics (hits mean buffer reuse paid off).
     pub fn mr_stats(&self) -> nbkv_fabric::MrStats {
         self.mr.stats()
+    }
+
+    /// Attach (or clear) a fault plan on every one-sided queue pair —
+    /// the chaos hook for direct-read fault experiments. A no-op without
+    /// one-sided engines.
+    pub fn set_onesided_faults(&self, plan: Option<nbkv_fabric::FaultPlan>) {
+        for e in self.directs.iter().flatten() {
+            e.set_faults(plan.clone());
+        }
     }
 
     /// Requests currently in flight.
@@ -365,6 +480,47 @@ impl Client {
     pub async fn get(&self, key: Bytes) -> Result<Completion, ClientError> {
         self.mr.ensure_registered(&key).await;
         let server = self.ring.select(&key);
+        // Direct fast path: a validated one-sided read returns without
+        // touching the server CPU; any other outcome falls through to the
+        // full resilience engine below.
+        if let Some(engine) = self.directs.get(server).and_then(|e| e.clone()) {
+            if engine.decide() {
+                let t0 = self.sim.now();
+                if !self.cfg.costs.client_issue.is_zero() {
+                    self.sim.sleep(self.cfg.costs.client_issue).await;
+                }
+                self.window.acquire().await;
+                let slot = WindowSlot::new(Rc::clone(&self.window), 1);
+                let outcome = engine.read(&key).await;
+                slot.member_done();
+                engine.note(&outcome);
+                if let DirectOutcome::Hit { value, flags } = outcome {
+                    let cost = self.cfg.costs.memcpy(value.len());
+                    if !cost.is_zero() {
+                        self.sim.sleep(cost).await;
+                    }
+                    {
+                        let mut st = self.stats.borrow_mut();
+                        st.issued += 1;
+                        st.completed += 1;
+                    }
+                    return Ok(Completion {
+                        status: OpStatus::Hit,
+                        value: Some(value),
+                        flags,
+                        cas: 0,
+                        counter: 0,
+                        stages: StageTimes {
+                            served_from: ServedFrom::Ram,
+                            ..StageTimes::default()
+                        },
+                        issued_at: t0,
+                        sent_at: t0,
+                        completed_at: self.sim.now(),
+                    });
+                }
+            }
+        }
         self.call_blocking(server, true, &|req_id| Request::Get {
             req_id,
             flavor: ApiFlavor::Block,
@@ -620,6 +776,11 @@ impl Client {
         wait_sent: bool,
     ) -> Result<ReqHandle, ClientError> {
         let server = self.ring.select(&key);
+        if let Some(engine) = self.directs.get(server).and_then(|e| e.clone()) {
+            if engine.decide() {
+                return self.issue_direct_get(server, engine, key, flavor).await;
+            }
+        }
         let req_id = self.alloc_req_id();
         let req = Request::Get {
             req_id,
@@ -711,6 +872,98 @@ impl Client {
                 Err(ClientError::Disconnected)
             }
         }
+    }
+
+    /// Non-blocking direct GET: issue the one-sided read in the background
+    /// and return a [`ReqHandle`] immediately (`iget`/`bget` semantics).
+    /// The key never touches the wire on the direct path, so the buffers
+    /// are reusable at once; a fallback clones the key into an ordinary
+    /// RPC under the same request id, which the progress task completes
+    /// through the normal machinery.
+    async fn issue_direct_get(
+        &self,
+        server: usize,
+        engine: Rc<DirectReadEngine>,
+        key: Bytes,
+        flavor: ApiFlavor,
+    ) -> Result<ReqHandle, ClientError> {
+        let issue_start = self.sim.now();
+        if !self.cfg.costs.client_issue.is_zero() {
+            self.sim.sleep(self.cfg.costs.client_issue).await;
+        }
+        self.window.acquire().await;
+        let req_id = self.alloc_req_id();
+        let state = ReqState::new(issue_start);
+        {
+            let mut s = state.borrow_mut();
+            s.slot = Some(WindowSlot::new(Rc::clone(&self.window), 1));
+            s.sent = true; // no wire send: buffers reusable immediately
+        }
+        self.pending.borrow_mut().insert(req_id, Rc::clone(&state));
+        self.stats.borrow_mut().issued += 1;
+
+        let sim = self.sim.clone();
+        let pending = Rc::clone(&self.pending);
+        let stats = Rc::clone(&self.stats);
+        let tx = self.txs[server].clone();
+        let costs = self.cfg.costs;
+        let task_state = Rc::clone(&state);
+        self.sim.spawn(async move {
+            let outcome = engine.read(&key).await;
+            engine.note(&outcome);
+            match outcome {
+                DirectOutcome::Hit { value, flags } => {
+                    let cost = costs.memcpy(value.len());
+                    if !cost.is_zero() {
+                        sim.sleep(cost).await;
+                    }
+                    let resp = Response::Get {
+                        req_id,
+                        status: OpStatus::Hit,
+                        stages: StageTimes {
+                            served_from: ServedFrom::Ram,
+                            ..StageTimes::default()
+                        },
+                        flags,
+                        cas: 0,
+                        value: Some(value),
+                    };
+                    complete_direct(&sim, &pending, &stats, resp);
+                }
+                _ => {
+                    task_state.borrow_mut().direct_fallback = true;
+                    let req = Request::Get {
+                        req_id,
+                        flavor,
+                        key,
+                    };
+                    match tx.send(req.encode()).await {
+                        Ok(ticket) => {
+                            task_state.borrow_mut().sent_at = Some(ticket.sent_at());
+                        }
+                        Err(_) => {
+                            // Connection gone mid-fallback: surface an
+                            // error completion instead of a hang.
+                            let resp = Response::Get {
+                                req_id,
+                                status: OpStatus::Error,
+                                stages: StageTimes::default(),
+                                flags: 0,
+                                cas: 0,
+                                value: None,
+                            };
+                            complete_direct(&sim, &pending, &stats, resp);
+                        }
+                    }
+                }
+            }
+        });
+        Ok(ReqHandle {
+            sim: self.sim.clone(),
+            state,
+            req_id,
+            pending: Rc::clone(&self.pending),
+        })
     }
 
     fn alloc_req_id(&self) -> u64 {
@@ -929,6 +1182,33 @@ fn race_waits<'a>(
     })
 }
 
+/// Complete a direct-path request locally (hit or failed fallback send):
+/// the synthetic response lands on the pending op exactly as a wire
+/// response would via the progress task.
+fn complete_direct(sim: &Sim, pending: &Pending, stats: &Rc<RefCell<ClientStats>>, resp: Response) {
+    let state = pending.borrow_mut().remove(&resp.req_id());
+    match state {
+        Some(state) => {
+            let slot = {
+                let mut s = state.borrow_mut();
+                s.response = Some(resp);
+                s.done = true;
+                s.sent = true;
+                s.completed_at = Some(sim.now());
+                s.notify.notify_waiters();
+                s.slot.take()
+            };
+            if let Some(slot) = slot {
+                slot.member_done();
+            }
+            stats.borrow_mut().completed += 1;
+        }
+        None => {
+            stats.borrow_mut().orphans += 1;
+        }
+    }
+}
+
 /// Per-connection completion engine.
 struct ProgressTask {
     sim: Sim,
@@ -936,6 +1216,9 @@ struct ProgressTask {
     pending: Pending,
     stats: Rc<RefCell<ClientStats>>,
     costs: CpuCosts,
+    /// This connection's one-sided engine, fed the server's queue-depth
+    /// hint and observed RPC GET latencies for the adaptive policy.
+    direct: Option<Rc<DirectReadEngine>>,
 }
 
 impl ProgressTask {
@@ -969,20 +1252,33 @@ impl ProgressTask {
                 self.sim.sleep(cost).await;
             }
         }
+        if let Some(direct) = &self.direct {
+            direct.observe_queue_depth(resp.stages().queue_depth);
+        }
+        let is_get = matches!(resp, Response::Get { .. });
         let state = self.pending.borrow_mut().remove(&resp.req_id());
         match state {
             Some(state) => {
-                let slot = {
+                let (slot, issued_at, fallback) = {
                     let mut s = state.borrow_mut();
                     s.response = Some(resp);
                     s.done = true;
                     s.sent = true;
                     s.completed_at = Some(self.sim.now());
                     s.notify.notify_waiters();
-                    s.slot.take()
+                    (s.slot.take(), s.issued_at, s.direct_fallback)
                 };
                 if let Some(slot) = slot {
                     slot.member_done();
+                }
+                // Feed the adaptive policy's RPC-latency EWMA. Fallback
+                // completions are excluded: their latency includes the
+                // failed direct attempt and would bias the signal.
+                if is_get && !fallback {
+                    if let Some(direct) = &self.direct {
+                        let latency = self.sim.now().saturating_since(issued_at).as_nanos() as u64;
+                        direct.observe_rpc_latency(latency);
+                    }
                 }
                 self.stats.borrow_mut().completed += 1;
             }

@@ -9,10 +9,10 @@ use nbkv_storesim::{
     DeviceProfile, HostModel, SlabIo, SlabIoConfig, SsdDevice, SsdFaultPlan, SsdFaultStats,
 };
 
-use crate::client::{Client, ClientConfig};
+use crate::client::{Client, ClientConfig, DirectPolicy};
 use crate::costs::CpuCosts;
 use crate::designs::{Design, SpecParams};
-use crate::server::Server;
+use crate::server::{OneSidedConfig, Server};
 
 /// One scripted server crash (and optional warm restart) in virtual time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +82,11 @@ pub struct ClusterConfig {
     pub fabric_override: Option<FabricProfile>,
     /// Deterministic fault-injection schedule (quiet by default).
     pub chaos: ChaosConfig,
+    /// Server-side one-sided index window geometry. `None` publishes a
+    /// window with [`OneSidedConfig::default`] geometry when (and only
+    /// when) [`ClientConfig::direct`] is not [`DirectPolicy::Off`];
+    /// `Some` forces publication with the given geometry either way.
+    pub onesided: Option<OneSidedConfig>,
 }
 
 impl ClusterConfig {
@@ -101,6 +106,7 @@ impl ClusterConfig {
             client: ClientConfig::default(),
             fabric_override: None,
             chaos: ChaosConfig::default(),
+            onesided: None,
         }
     }
 }
@@ -155,11 +161,16 @@ pub fn build_cluster(sim: &Sim, cfg: &ClusterConfig) -> Cluster {
         .fabric_override
         .unwrap_or_else(|| cfg.design.fabric_profile());
     let fabric = Fabric::new(sim, profile);
-    let server_cfg = cfg.design.server_config(SpecParams {
+    let mut server_cfg = cfg.design.server_config(SpecParams {
         mem_bytes: cfg.server_mem_bytes,
         ssd_capacity: cfg.ssd_capacity,
         costs: cfg.costs,
     });
+    // Publish one-sided index windows when asked for explicitly or
+    // implied by the client's direct-read policy.
+    server_cfg.onesided = cfg
+        .onesided
+        .or_else(|| (cfg.client.direct != DirectPolicy::Off).then(OneSidedConfig::default));
 
     let mut servers = Vec::with_capacity(cfg.servers);
     let mut devices = Vec::new();
@@ -191,10 +202,11 @@ pub fn build_cluster(sim: &Sim, cfg: &ClusterConfig) -> Cluster {
     let mut links = Vec::new();
     for ci in 0..cfg.clients {
         let mut transports = Vec::with_capacity(cfg.servers);
+        let mut qps = Vec::with_capacity(cfg.servers);
         for (si, server) in servers.iter().enumerate() {
             let (client_side, server_side) = fabric.connect();
+            let pair = (ci * cfg.servers + si) as u64;
             if let Some(template) = &cfg.chaos.link_faults {
-                let pair = (ci * cfg.servers + si) as u64;
                 let mut c2s = template.clone();
                 c2s.seed = derive_seed(cfg.chaos.seed, pair, 0xC25);
                 client_side.set_fault_plan(Some(c2s));
@@ -206,8 +218,26 @@ pub fn build_cluster(sim: &Sim, cfg: &ClusterConfig) -> Cluster {
             links.push(server_side.sender_link().fault_handle());
             server.accept(server_side);
             transports.push(client_side);
+            // A one-sided queue pair bound to the server's index window,
+            // for clients configured to read past the server CPU. The
+            // server half is dropped: one-sided reads are served by the
+            // window itself, not a peer task.
+            let qp = match (cfg.client.direct != DirectPolicy::Off, server.onesided()) {
+                (true, Some(idx)) => {
+                    let (qp_c, _qp_s) = fabric.connect_qp();
+                    qp_c.bind_peer_window(idx.window());
+                    if let Some(template) = &cfg.chaos.link_faults {
+                        let mut plan = template.clone();
+                        plan.seed = derive_seed(cfg.chaos.seed, pair, 0x05D);
+                        qp_c.set_onesided_faults(Some(plan));
+                    }
+                    Some(qp_c)
+                }
+                _ => None,
+            };
+            qps.push(qp);
         }
-        clients.push(Client::new(sim, transports, cfg.client));
+        clients.push(Client::new_with_onesided(sim, transports, qps, cfg.client));
     }
 
     // Scripted crashes and warm restarts.

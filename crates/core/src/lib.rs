@@ -52,13 +52,13 @@ pub mod util;
 
 pub use client::{
     BackoffSchedule, BatchPolicy, BreakerConfig, Client, ClientConfig, ClientError, Completion,
-    ReqHandle, ResiliencePolicy, Ring,
+    DirectPolicy, ReqHandle, ResiliencePolicy, Ring,
 };
 pub use cluster::{build_cluster, Cluster, ClusterConfig};
 pub use costs::CpuCosts;
 pub use designs::{Design, SpecParams};
-pub use proto::{ApiFlavor, OpStatus, Request, Response, ServedFrom, StageTimes};
+pub use proto::{ApiFlavor, LeaseGeometry, OpStatus, Request, Response, ServedFrom, StageTimes};
 pub use server::{
-    HybridStore, IoPolicy, PromotePolicy, RecoveryReport, Server, ServerConfig, StoreConfig,
-    StoreKind,
+    HybridStore, IoPolicy, OneSidedConfig, PromotePolicy, RecoveryReport, Server, ServerConfig,
+    StoreConfig, StoreKind,
 };

@@ -210,6 +210,10 @@ pub struct StageTimes {
     pub overlapped_flush: bool,
     /// Where the value came from.
     pub served_from: ServedFrom,
+    /// Server load hint: requests sitting in the dispatch/staging queue
+    /// when this response was built. The client's adaptive one-sided
+    /// policy biases toward server-bypass direct reads when it grows.
+    pub queue_depth: u32,
 }
 
 impl StageTimes {
@@ -280,6 +284,17 @@ pub enum Request {
         /// Key bytes.
         key: Bytes,
     },
+    /// One-sided window lease handshake: ask the server for the geometry
+    /// of its RDMA-readable index window (models exchanging the rkey and
+    /// layout at connection setup). The response is a `Get` whose value
+    /// carries an encoded [`LeaseGeometry`]; a `Miss` means the server
+    /// publishes no window.
+    WindowLease {
+        /// Client-assigned request id.
+        req_id: u64,
+        /// Issuing API family.
+        flavor: ApiFlavor,
+    },
     /// Remove a key.
     Delete {
         /// Client-assigned request id.
@@ -330,6 +345,7 @@ impl Request {
             | Request::Delete { req_id, .. }
             | Request::Counter { req_id, .. }
             | Request::Stats { req_id, .. }
+            | Request::WindowLease { req_id, .. }
             | Request::Touch { req_id, .. }
             | Request::Batch { req_id, .. } => *req_id,
         }
@@ -343,6 +359,7 @@ impl Request {
             | Request::Delete { flavor, .. }
             | Request::Counter { flavor, .. }
             | Request::Stats { flavor, .. }
+            | Request::WindowLease { flavor, .. }
             | Request::Touch { flavor, .. }
             | Request::Batch { flavor, .. } => *flavor,
         }
@@ -356,7 +373,7 @@ impl Request {
             Request::Set { key, value, .. } => 39 + key.len() + value.len(),
             Request::Get { key, .. } | Request::Delete { key, .. } => 14 + key.len(),
             Request::Counter { key, .. } => 23 + key.len(),
-            Request::Stats { .. } => 10,
+            Request::Stats { .. } | Request::WindowLease { .. } => 10,
             Request::Touch { key, .. } => 22 + key.len(),
             Request::Batch { ops, .. } => {
                 14 + ops.iter().map(|op| 4 + op.wire_len()).sum::<usize>()
@@ -421,6 +438,13 @@ impl Request {
             Request::Stats { req_id, flavor } => {
                 let mut b = BytesMut::with_capacity(10);
                 b.put_u8(6);
+                b.put_u8(flavor.to_wire());
+                b.put_u64(*req_id);
+                b.freeze()
+            }
+            Request::WindowLease { req_id, flavor } => {
+                let mut b = BytesMut::with_capacity(10);
+                b.put_u8(8);
                 b.put_u8(flavor.to_wire());
                 b.put_u64(*req_id);
                 b.freeze()
@@ -513,6 +537,7 @@ impl Request {
                 })
             }
             6 => Ok(Request::Stats { req_id, flavor }),
+            8 => Ok(Request::WindowLease { req_id, flavor }),
             7 => {
                 let count = r.u32()? as usize;
                 if count == 0 {
@@ -707,7 +732,7 @@ impl Response {
                 value,
             } => {
                 let vlen = value.as_ref().map_or(0, |v| v.len());
-                let mut b = BytesMut::with_capacity(93 + vlen);
+                let mut b = BytesMut::with_capacity(97 + vlen);
                 b.put_u8(130);
                 b.put_u8(status.to_wire());
                 b.put_u64(*req_id);
@@ -730,7 +755,7 @@ impl Response {
                 stages,
                 value,
             } => {
-                let mut b = BytesMut::with_capacity(84);
+                let mut b = BytesMut::with_capacity(88);
                 b.put_u8(132);
                 b.put_u8(status.to_wire());
                 b.put_u64(*req_id);
@@ -740,7 +765,7 @@ impl Response {
             }
             Response::Batch { req_id, responses } => {
                 debug_assert!(!responses.is_empty(), "empty batch frames are unencodable");
-                let mut b = BytesMut::with_capacity(14 + responses.len() * 96);
+                let mut b = BytesMut::with_capacity(14 + responses.len() * 100);
                 b.put_u8(133);
                 b.put_u64(*req_id);
                 b.put_u32(responses.len() as u32);
@@ -824,7 +849,7 @@ impl Response {
 }
 
 fn encode_plain_resp(opcode: u8, req_id: u64, status: OpStatus, stages: &StageTimes) -> Bytes {
-    let mut b = BytesMut::with_capacity(76);
+    let mut b = BytesMut::with_capacity(80);
     b.put_u8(opcode);
     b.put_u8(status.to_wire());
     b.put_u64(req_id);
@@ -843,6 +868,7 @@ fn put_stages(b: &mut BytesMut, s: &StageTimes) {
     b.put_u64(s.ssd_ns);
     b.put_u8(s.overlapped_flush as u8);
     b.put_u8(s.served_from.to_wire());
+    b.put_u32(s.queue_depth);
 }
 
 fn read_stages(r: &mut Reader<'_>) -> Result<StageTimes, ProtoError> {
@@ -857,7 +883,51 @@ fn read_stages(r: &mut Reader<'_>) -> Result<StageTimes, ProtoError> {
         ssd_ns: r.u64()?,
         overlapped_flush: r.u8()? == 1,
         served_from: ServedFrom::from_wire(r.u8()?)?,
+        queue_depth: r.u32()?,
     })
+}
+
+/// Geometry of a server's RDMA-readable index window, exchanged through
+/// the [`Request::WindowLease`] handshake. Offsets are relative to the
+/// window base: `buckets` fixed-size descriptor slots of `desc_slot`
+/// bytes, then a value arena of `buckets` slots of `arena_slot` bytes
+/// starting at `arena_offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseGeometry {
+    /// Number of descriptor/arena buckets.
+    pub buckets: u32,
+    /// Bytes per descriptor slot.
+    pub desc_slot: u32,
+    /// Window offset where the value arena begins.
+    pub arena_offset: u64,
+    /// Bytes per arena slot (version copy + value capacity).
+    pub arena_slot: u32,
+}
+
+impl LeaseGeometry {
+    /// Encoded size in bytes.
+    pub const WIRE_LEN: usize = 20;
+
+    /// Encode as the value payload of a lease response.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(Self::WIRE_LEN);
+        b.put_u32(self.buckets);
+        b.put_u32(self.desc_slot);
+        b.put_u64(self.arena_offset);
+        b.put_u32(self.arena_slot);
+        b.freeze()
+    }
+
+    /// Decode from a lease response value.
+    pub fn decode(buf: &Bytes) -> Result<LeaseGeometry, ProtoError> {
+        let mut r = Reader::new(buf);
+        Ok(LeaseGeometry {
+            buckets: r.u32()?,
+            desc_slot: r.u32()?,
+            arena_offset: r.u64()?,
+            arena_slot: r.u32()?,
+        })
+    }
 }
 
 /// Decode failure.
@@ -964,6 +1034,7 @@ mod tests {
             ssd_ns: 400,
             overlapped_flush: true,
             served_from: ServedFrom::Ssd,
+            queue_depth: 3,
         }
     }
 
@@ -1266,6 +1337,10 @@ mod tests {
                 req_id: 105,
                 flavor: ApiFlavor::Block,
             });
+            v.push(Request::WindowLease {
+                req_id: 108,
+                flavor: ApiFlavor::Block,
+            });
             v.push(Request::Touch {
                 req_id: 106,
                 flavor: ApiFlavor::Block,
@@ -1279,6 +1354,45 @@ mod tests {
         for req in reqs {
             assert_eq!(req.encode().len(), req.wire_len(), "{req:?}");
         }
+    }
+
+    #[test]
+    fn window_lease_round_trips() {
+        let req = Request::WindowLease {
+            req_id: 55,
+            flavor: ApiFlavor::Block,
+        };
+        let wire = req.encode();
+        assert_eq!(wire[0], 8);
+        assert_eq!(wire.len(), req.wire_len());
+        assert_eq!(Request::decode(&wire).unwrap(), req);
+
+        let geo = LeaseGeometry {
+            buckets: 4096,
+            desc_slot: 32,
+            arena_offset: 4096 * 32,
+            arena_slot: 4104,
+        };
+        let wire = geo.encode();
+        assert_eq!(wire.len(), LeaseGeometry::WIRE_LEN);
+        assert_eq!(LeaseGeometry::decode(&wire).unwrap(), geo);
+        assert_eq!(
+            LeaseGeometry::decode(&wire.slice(..10)),
+            Err(ProtoError::Truncated)
+        );
+    }
+
+    #[test]
+    fn queue_depth_hint_survives_responses() {
+        let mut s = stages();
+        s.queue_depth = 17;
+        let resp = Response::Set {
+            req_id: 1,
+            status: OpStatus::Stored,
+            stages: s,
+        };
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded.stages().queue_depth, 17);
     }
 
     #[test]

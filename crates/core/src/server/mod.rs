@@ -2,10 +2,12 @@
 //! pipeline.
 
 pub mod hashtable;
+pub mod onesided;
 pub mod runtime;
 pub mod slab;
 pub mod store;
 
+pub use onesided::{Descriptor, OneSidedConfig, OneSidedIndex, OneSidedStats};
 pub use runtime::{Server, ServerConfig, ServerStats, StatsSnapshot};
 pub use store::{
     HybridStore, IoPolicy, OpOutcome, PromotePolicy, RecoveryReport, StoreConfig, StoreKind,

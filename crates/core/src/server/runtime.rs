@@ -41,6 +41,9 @@ pub struct ServerConfig {
     /// Request threads for the inline (blocking) path — memcached's
     /// `-t` worker threads. Requests beyond this concurrency queue.
     pub inline_concurrency: usize,
+    /// Publish an RDMA-readable one-sided index region (the server-bypass
+    /// GET path). `None` disables it; clients then always use RPC.
+    pub onesided: Option<crate::server::onesided::OneSidedConfig>,
 }
 
 impl ServerConfig {
@@ -53,6 +56,7 @@ impl ServerConfig {
             workers: 0,
             staging_capacity: 0,
             inline_concurrency: 4,
+            onesided: None,
         }
     }
 
@@ -65,6 +69,7 @@ impl ServerConfig {
             workers: 4,
             staging_capacity: 64,
             inline_concurrency: 4,
+            onesided: None,
         }
     }
 }
@@ -199,6 +204,9 @@ impl Server {
     /// the store is hybrid.
     pub fn new(sim: &Sim, cfg: ServerConfig, ssd: Option<Rc<SlabIo>>) -> Rc<Self> {
         let store = HybridStore::new(sim, cfg.store, ssd);
+        if let Some(oscfg) = cfg.onesided {
+            store.attach_onesided(crate::server::onesided::OneSidedIndex::new(oscfg));
+        }
         let server = Rc::new(Server {
             sim: sim.clone(),
             cfg,
@@ -222,6 +230,12 @@ impl Server {
     /// The storage engine (for preloading and stats).
     pub fn store(&self) -> &Rc<HybridStore> {
         &self.store
+    }
+
+    /// The one-sided index region, if this server publishes one (for
+    /// cluster wiring: the window is bound to client queue pairs).
+    pub fn onesided(&self) -> Option<Rc<crate::server::onesided::OneSidedIndex>> {
+        self.store.onesided()
     }
 
     /// Counter snapshot.
@@ -538,6 +552,40 @@ impl Server {
                     stages: self.finish_stages(out, profile, 0, stamps),
                 }
             }
+            Request::WindowLease { req_id, .. } => {
+                // Lease handshake for the one-sided read path: advertise
+                // the window geometry (or Miss when no window exists).
+                let out = OpOutcome {
+                    status: crate::proto::OpStatus::Hit,
+                    value: None,
+                    flags: 0,
+                    cas: 0,
+                    counter: 0,
+                    stages: StageTimes::default(),
+                };
+                match self.store.onesided() {
+                    Some(idx) => {
+                        let lease = idx.lease().encode();
+                        let len = lease.len();
+                        Response::Get {
+                            req_id,
+                            status: crate::proto::OpStatus::Hit,
+                            stages: self.finish_stages(out, profile, len, stamps),
+                            flags: 0,
+                            cas: 0,
+                            value: Some(lease),
+                        }
+                    }
+                    None => Response::Get {
+                        req_id,
+                        status: crate::proto::OpStatus::Miss,
+                        stages: self.finish_stages(out, profile, 0, stamps),
+                        flags: 0,
+                        cas: 0,
+                        value: None,
+                    },
+                }
+            }
             Request::Stats { req_id, .. } => {
                 let json = serde_json::to_vec(&self.snapshot()).expect("stats serialize");
                 let len = json.len();
@@ -572,7 +620,7 @@ impl Server {
         value_len: usize,
         stamps: PhaseStamps,
     ) -> StageTimes {
-        let resp_len = 85 + value_len + FRAME_OVERHEAD;
+        let resp_len = 89 + value_len + FRAME_OVERHEAD;
         let est =
             profile.per_message_cpu + profile.copy_cost(resp_len) + profile.link.one_way(resp_len);
         let mut stages = out.stages;
@@ -581,6 +629,9 @@ impl Server {
         stages.comm_done_at_ns = stamps.comm_done_at.as_nanos();
         stages.store_done_at_ns = self.sim.now().as_nanos();
         stages.overlapped_flush = stamps.overlapped;
+        // Dispatch-load hint for the client's adaptive RPC/direct-read
+        // policy: how deep the staging queue was when this response left.
+        stages.queue_depth = self.staging_q.borrow().len() as u32;
         stages
     }
 }

@@ -24,6 +24,7 @@ use nbkv_storesim::{IoScheme, LruMap, SlabIo};
 use crate::costs::CpuCosts;
 use crate::proto::{OpStatus, ServedFrom, SetMode, StageTimes};
 use crate::server::hashtable::HashTable;
+use crate::server::onesided::OneSidedIndex;
 use crate::server::slab::{parse_item_bytes, SlabConfig, SlabPool, SlabStats, ITEM_HEADER};
 use crate::util::unpack_item_id;
 
@@ -294,6 +295,10 @@ pub struct HybridStore {
     flushes_in_flight: Cell<u32>,
     mem_notify: Notify,
     stats: Rc<RefCell<StoreStats>>,
+    /// One-sided index region, if the server publishes one. Every mutation
+    /// that changes where (or whether) a value lives must keep it coherent
+    /// via the seqlock hooks below.
+    onesided: RefCell<Option<Rc<OneSidedIndex>>>,
 }
 
 impl HybridStore {
@@ -321,7 +326,47 @@ impl HybridStore {
             flushes_in_flight: Cell::new(0),
             mem_notify: Notify::new(),
             stats: Rc::new(RefCell::new(StoreStats::default())),
+            onesided: RefCell::new(None),
         })
+    }
+
+    /// Attach a one-sided index region; subsequent mutations publish and
+    /// invalidate descriptors through it.
+    pub fn attach_onesided(&self, idx: Rc<OneSidedIndex>) {
+        *self.onesided.borrow_mut() = Some(idx);
+    }
+
+    /// The attached one-sided index, if any.
+    pub fn onesided(&self) -> Option<Rc<OneSidedIndex>> {
+        self.onesided.borrow().clone()
+    }
+
+    /// Publish `key`'s in-RAM value to the one-sided window. Items with an
+    /// expiry are never published: a remote reader cannot check TTLs, so
+    /// they stay RPC-only.
+    fn os_publish(&self, key: &[u8], value: &[u8], flags: u32, expire_at_ns: u64) {
+        if let Some(idx) = self.onesided.borrow().as_ref() {
+            if expire_at_ns == 0 {
+                idx.publish(key, value, flags);
+            } else {
+                idx.invalidate(key);
+            }
+        }
+    }
+
+    /// Invalidate `key`'s descriptor (delete, expiry, eviction, data loss).
+    fn os_invalidate(&self, key: &[u8]) {
+        if let Some(idx) = self.onesided.borrow().as_ref() {
+            idx.invalidate(key);
+        }
+    }
+
+    /// Clear `key`'s in-RAM bit: the value moved to SSD and its arena
+    /// bytes are no longer valid, but the key still serves over RPC.
+    fn os_mark_ssd(&self, key: &[u8]) {
+        if let Some(idx) = self.onesided.borrow().as_ref() {
+            idx.mark_ssd(key);
+        }
     }
 
     /// Counter snapshot.
@@ -525,6 +570,7 @@ impl HybridStore {
         let t2 = self.sim.now();
         let version = self.next_version.get();
         self.next_version.set(version + 1);
+        self.os_publish(&key, &value, flags, expire_at_ns);
         let old = self.index.borrow_mut().insert(
             key,
             ItemMeta {
@@ -830,6 +876,7 @@ impl HybridStore {
         match removed {
             Some(meta) => {
                 self.release_meta(&meta);
+                self.os_invalidate(key);
                 true
             }
             None => false,
@@ -855,6 +902,7 @@ impl HybridStore {
         if let Some(id) = victim_id {
             if let Some(key) = self.pool.borrow().read_item(id).map(|i| i.key) {
                 self.index.borrow_mut().remove(&key);
+                self.os_invalidate(&key);
             }
             self.pool.borrow_mut().free_chunk(id);
             self.stats.borrow_mut().evicted_items += 1;
@@ -893,6 +941,7 @@ impl HybridStore {
                 .is_some_and(|m| m.loc == Location::Ram(id));
             if is_live {
                 self.index.borrow_mut().remove(&key);
+                self.os_invalidate(&key);
                 self.item_lru.borrow_mut()[class].remove(&id);
                 self.stats.borrow_mut().evicted_items += 1;
             }
@@ -963,6 +1012,7 @@ impl HybridStore {
                     .is_some_and(|m| m.version == version);
                 if still_live {
                     self.index.borrow_mut().remove(&key);
+                    self.os_invalidate(&key);
                 }
                 self.item_lru.borrow_mut()[class].remove(&id);
                 self.stats.borrow_mut().ssd_full_drops += 1;
@@ -1000,6 +1050,7 @@ impl HybridStore {
             let stats = Rc::clone(&self.stats);
             let index = Rc::clone(&self.index);
             let extents = Rc::clone(&self.ssd_extents);
+            let onesided = self.onesided.borrow().clone();
             self.sim.spawn(async move {
                 match ssd.write(scheme, base, &buf).await {
                     Ok(()) => {
@@ -1024,6 +1075,9 @@ impl HybridStore {
                             for (key, version, _, _) in &captured {
                                 if idx.get(key).is_some_and(|m| m.version == *version) {
                                     idx.remove(key);
+                                    if let Some(os) = onesided.as_ref() {
+                                        os.invalidate(key);
+                                    }
                                     dropped += 1;
                                 }
                             }
@@ -1045,6 +1099,7 @@ impl HybridStore {
             self.stats.borrow_mut().flush_errors += 1;
             for (key, _, id, _) in captured {
                 self.index.borrow_mut().remove(&key);
+                self.os_invalidate(&key);
                 self.item_lru.borrow_mut()[class].remove(&id);
                 self.stats.borrow_mut().ssd_full_drops += 1;
             }
@@ -1082,6 +1137,7 @@ impl HybridStore {
             let (_, chunk) = unpack_item_id(*id);
             let offset = base + chunk as u64 * chunk_size as u64;
             let mut index = self.index.borrow_mut();
+            let mut retargeted = false;
             if let Some(meta) = index.get_mut(key) {
                 if meta.version == *version {
                     meta.loc = Location::Ssd {
@@ -1090,9 +1146,15 @@ impl HybridStore {
                         len: *stored,
                     };
                     live += 1;
+                    retargeted = true;
                 }
             }
             drop(index);
+            if retargeted {
+                // The value's bytes left registered RAM: remote readers
+                // must stop trusting the arena copy and fall back to RPC.
+                self.os_mark_ssd(key);
+            }
             self.item_lru.borrow_mut()[class].remove(id);
         }
         self.register_extent(base, extent_len, live, scheme, chunk_size as u32);
@@ -1199,6 +1261,9 @@ impl HybridStore {
         *self.item_lru.borrow_mut() = (0..n_classes).map(|_| LruMap::new()).collect();
         *self.page_lru.borrow_mut() = (0..n_classes).map(|_| LruMap::new()).collect();
         self.inflight_flushes.borrow_mut().clear();
+        if let Some(os) = self.onesided.borrow().as_ref() {
+            os.clear();
+        }
         self.stats.borrow_mut().crashes += 1;
     }
 
@@ -1342,7 +1407,11 @@ impl HybridStore {
                 let v = self.next_version.get();
                 self.next_version.set(v + 1);
                 m.version = v;
+                let expire_at_ns = m.expire_at_ns;
+                let flags = m.flags;
                 drop(index);
+                // Back in registered RAM: republish for one-sided readers.
+                self.os_publish(key, &item.value, flags, expire_at_ns);
                 self.touch_lru(class, id);
                 self.stats.borrow_mut().promotes += 1;
                 return;

@@ -65,6 +65,7 @@ fn arb_stages() -> impl Strategy<Value = StageTimes> {
                     1 => ServedFrom::Ssd,
                     _ => ServedFrom::None,
                 },
+                queue_depth: (a ^ d) & 0xffff,
             },
         )
 }

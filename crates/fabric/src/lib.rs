@@ -47,4 +47,6 @@ pub use link::{Disconnected, Link, LinkFaultHandle, LinkStats, SendTicket, FRAME
 pub use mr::{MrCache, MrKey, MrStats};
 pub use profiles::FabricProfile;
 pub use transport::{transport_pair, Transport, TransportRx, TransportTx};
-pub use verbs::{CompletionQueue, QueuePair, RemoteWindow, WcOpcode, WorkCompletion};
+pub use verbs::{
+    CompletionQueue, QueuePair, RemoteWindow, WcOpcode, WindowOutOfBounds, WorkCompletion,
+};

@@ -93,6 +93,14 @@ impl MrCache {
             self.sim.sleep(cost).await;
         }
         let mut inner = self.inner.borrow_mut();
+        // Re-check after the registration sleep: a concurrent task may have
+        // registered the same region while we slept. Without this, both
+        // tasks would insert distinct keys and double-count the miss and
+        // the registered bytes.
+        if let Some(key) = inner.regions.get(&region).copied() {
+            inner.stats.hits += 1;
+            return key;
+        }
         let key = MrKey(inner.next_key);
         inner.next_key += 1;
         inner.regions.insert(region, key);
@@ -212,6 +220,35 @@ mod tests {
                     registered_bytes: 256
                 }
             );
+        });
+    }
+
+    #[test]
+    fn concurrent_registration_of_same_region_is_single() {
+        // TOCTOU regression: two tasks race to register the same region.
+        // Both pay the sleep (they both started before either finished),
+        // but only one may insert — same key, one miss, bytes counted once.
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let cache = MrCache::new(sim2.clone(), fdr_rdma());
+            let buf = Bytes::from(vec![3u8; 8192]);
+            let c1 = cache.clone();
+            let b1 = buf.clone();
+            let t1 = sim2.spawn(async move { c1.ensure_registered(&b1).await });
+            let c2 = cache.clone();
+            let b2 = buf.clone();
+            let t2 = sim2.spawn(async move { c2.ensure_registered(&b2).await });
+            let (k1, k2) = (t1.await, t2.await);
+            assert_eq!(k1, k2, "racing registrations must converge on one key");
+            let s = cache.stats();
+            assert_eq!(s.misses, 1, "only one miss may be charged");
+            assert_eq!(s.hits, 1, "the loser re-checks and records a hit");
+            assert_eq!(s.registered_bytes, 8192, "bytes counted once");
+            // The region is genuinely cached: a third call is a plain hit.
+            let k3 = cache.ensure_registered(&buf).await;
+            assert_eq!(k3, k1);
+            assert_eq!(cache.stats().hits, 2);
         });
     }
 

@@ -7,16 +7,42 @@
 //! when a message arrives and a receive work request is available to
 //! consume it.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use nbkv_simrt::{Sim, SimTime};
+use nbkv_simrt::{Notify, Sim, SimTime};
 
 use crate::conn::pair;
+use crate::fault::{FaultPlan, SALT_DROP};
 use crate::latency::LatencyModel;
 use crate::link::{Disconnected, Link};
+
+/// Out-of-bounds access against a [`RemoteWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowOutOfBounds {
+    /// Requested start offset.
+    pub offset: usize,
+    /// Requested span length.
+    pub len: usize,
+    /// The window's actual length.
+    pub window_len: usize,
+}
+
+impl std::fmt::Display for WindowOutOfBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "window access [{}, {}) out of bounds (window len {})",
+            self.offset,
+            self.offset + self.len,
+            self.window_len
+        )
+    }
+}
+
+impl std::error::Error for WindowOutOfBounds {}
 
 /// Completion opcode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,11 +77,13 @@ pub struct WorkCompletion {
 #[derive(Clone, Default)]
 pub struct CompletionQueue {
     events: Rc<RefCell<VecDeque<WorkCompletion>>>,
+    notify: Notify,
 }
 
 impl CompletionQueue {
     fn push(&self, wc: WorkCompletion) {
         self.events.borrow_mut().push_back(wc);
+        self.notify.notify_waiters();
     }
 
     /// Harvest up to `max` completions (like `ibv_poll_cq`).
@@ -73,6 +101,21 @@ impl CompletionQueue {
     /// True if no completions are queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Wait for (and remove) the completion carrying `wr_id`. Completions
+    /// for other work requests are left in place for their own waiters,
+    /// so concurrent posters can share one CQ.
+    pub async fn next_for(&self, wr_id: u64) -> WorkCompletion {
+        loop {
+            {
+                let mut q = self.events.borrow_mut();
+                if let Some(pos) = q.iter().position(|wc| wc.wr_id == wr_id) {
+                    return q.remove(pos).expect("position is in bounds");
+                }
+            }
+            self.notify.notified().await;
+        }
     }
 }
 
@@ -110,13 +153,46 @@ impl RemoteWindow {
     }
 
     /// Local (owner-side) read of the window contents.
+    ///
+    /// Panics on out-of-bounds spans; see [`RemoteWindow::try_peek`] for
+    /// the checked variant.
     pub fn peek(&self, offset: usize, len: usize) -> Bytes {
         Bytes::copy_from_slice(&self.mem.borrow()[offset..offset + len])
     }
 
     /// Local (owner-side) write into the window.
+    ///
+    /// Panics on out-of-bounds spans; see [`RemoteWindow::try_poke`] for
+    /// the checked variant.
     pub fn poke(&self, offset: usize, data: &[u8]) {
         self.mem.borrow_mut()[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    fn check(&self, offset: usize, len: usize) -> Result<(), WindowOutOfBounds> {
+        let window_len = self.len();
+        match offset.checked_add(len) {
+            Some(end) if end <= window_len => Ok(()),
+            _ => Err(WindowOutOfBounds {
+                offset,
+                len,
+                window_len,
+            }),
+        }
+    }
+
+    /// Checked read of the window contents.
+    pub fn try_peek(&self, offset: usize, len: usize) -> Result<Bytes, WindowOutOfBounds> {
+        self.check(offset, len)?;
+        Ok(Bytes::copy_from_slice(
+            &self.mem.borrow()[offset..offset + len],
+        ))
+    }
+
+    /// Checked write into the window.
+    pub fn try_poke(&self, offset: usize, data: &[u8]) -> Result<(), WindowOutOfBounds> {
+        self.check(offset, data.len())?;
+        self.mem.borrow_mut()[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
     }
 }
 
@@ -129,6 +205,13 @@ pub struct QueuePair {
     recv: Rc<RefCell<RecvState>>,
     /// The peer's exposed memory window (for one-sided operations).
     peer_window: RefCell<Option<RemoteWindow>>,
+    /// Fault schedule for one-sided operations. The transport's link-level
+    /// plan never sees them (they bypass `Link::send`'s delivery path), so
+    /// chaos runs attach a plan here: a dropped operation consumes the
+    /// wire round trip but its completion never lands on the CQ.
+    os_faults: RefCell<Option<FaultPlan>>,
+    os_seq: Cell<u64>,
+    os_dropped: Cell<u64>,
 }
 
 impl QueuePair {
@@ -152,6 +235,9 @@ impl QueuePair {
             recv_cq: recv_cq.clone(),
             recv: Rc::clone(&recv),
             peer_window: RefCell::new(None),
+            os_faults: RefCell::new(None),
+            os_seq: Cell::new(0),
+            os_dropped: Cell::new(0),
         };
         // Pump task: match arrivals against posted receive WRs.
         let sim2 = sim.clone();
@@ -220,6 +306,39 @@ impl QueuePair {
         *self.peer_window.borrow_mut() = Some(window);
     }
 
+    /// True once a peer window has been bound.
+    pub fn has_peer_window(&self) -> bool {
+        self.peer_window.borrow().is_some()
+    }
+
+    /// Attach a deterministic fault schedule to this QP's one-sided
+    /// operations (drops and scripted down windows apply; a dropped
+    /// operation never produces a completion).
+    pub fn set_onesided_faults(&self, plan: Option<FaultPlan>) {
+        *self.os_faults.borrow_mut() = plan;
+    }
+
+    /// One-sided operations whose completions were swallowed by the fault
+    /// plan.
+    pub fn onesided_dropped(&self) -> u64 {
+        self.os_dropped.get()
+    }
+
+    /// Whether the fault plan swallows the one-sided op posted now.
+    fn os_fault_drops(&self) -> bool {
+        let seq = self.os_seq.get();
+        self.os_seq.set(seq + 1);
+        let faults = self.os_faults.borrow();
+        let Some(plan) = faults.as_ref() else {
+            return false;
+        };
+        let dropped = plan.is_down_at(self.sim.now()) || plan.roll(seq, SALT_DROP) < plan.drop_prob;
+        if dropped {
+            self.os_dropped.set(self.os_dropped.get() + 1);
+        }
+        dropped
+    }
+
     /// One-sided RDMA WRITE: place `data` at `remote_offset` in the peer's
     /// window without involving the peer's CPU. The completion fires one
     /// full network traversal after the post (when the data is placed).
@@ -240,6 +359,9 @@ impl QueuePair {
         let len = data.len();
         // One-sided ops traverse the same wire: serialization + propagation.
         let ticket = self.tx.send(Bytes::new())?; // header descriptor
+        if self.os_fault_drops() {
+            return Ok(()); // wire consumed, completion lost
+        }
         let model = self.tx.model();
         let placed_at = ticket.sent_at() + model.serialization(len) + model.propagation();
         let cq = self.send_cq.clone();
@@ -272,6 +394,9 @@ impl QueuePair {
             .expect("bind_peer_window before one-sided ops");
         if !self.tx.is_open() {
             return Err(Disconnected);
+        }
+        if self.os_fault_drops() {
+            return Ok(()); // read posted, completion lost
         }
         let model = self.tx.model();
         // Request goes out (tiny), data comes back (len bytes).
@@ -485,6 +610,88 @@ mod one_sided_tests {
         sim.run_until(async move {
             let (qp_a, _qp_b) = QueuePair::connect(&sim2, model());
             let _ = qp_a.post_rdma_write(1, 0, Bytes::from_static(b"x"));
+        });
+    }
+
+    #[test]
+    fn try_peek_and_try_poke_reject_out_of_bounds() {
+        let w = RemoteWindow::new(16);
+        assert_eq!(&w.try_peek(0, 16).unwrap()[..], &[0u8; 16]);
+        w.try_poke(8, b"12345678").unwrap();
+        assert_eq!(&w.try_peek(8, 8).unwrap()[..], b"12345678");
+
+        // Reads past the end, including overflowing spans.
+        let err = w.try_peek(8, 9).unwrap_err();
+        assert_eq!(
+            err,
+            WindowOutOfBounds {
+                offset: 8,
+                len: 9,
+                window_len: 16
+            }
+        );
+        assert!(w.try_peek(16, 1).is_err());
+        assert!(w.try_peek(usize::MAX, 2).is_err(), "offset+len overflow");
+        assert!(w.try_poke(9, b"12345678").is_err());
+        assert!(err.to_string().contains("out of bounds"));
+
+        // Errors leave the window untouched.
+        assert_eq!(&w.try_peek(8, 8).unwrap()[..], b"12345678");
+        // Empty spans at the boundary are fine.
+        assert!(w.try_peek(16, 0).is_ok());
+        assert!(w.try_poke(16, b"").is_ok());
+    }
+
+    #[test]
+    fn next_for_waits_and_routes_by_wr_id() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, _qp_b) = QueuePair::connect(&sim2, model());
+            let window = RemoteWindow::new(64);
+            window.poke(0, b"abcd");
+            window.poke(4, b"efgh");
+            qp_a.bind_peer_window(window);
+            let qp_a = Rc::new(qp_a);
+            // Two concurrent readers on the same CQ: each must get its own
+            // completion even though the other's may land first.
+            let qp1 = Rc::clone(&qp_a);
+            let t1 = sim2.spawn(async move {
+                qp1.post_rdma_read(1, 0, 4).unwrap();
+                qp1.send_cq().next_for(1).await
+            });
+            let qp2 = Rc::clone(&qp_a);
+            let t2 = sim2.spawn(async move {
+                qp2.post_rdma_read(2, 4, 60).unwrap(); // larger = slower
+                qp2.send_cq().next_for(2).await
+            });
+            let wc2 = t2.await;
+            let wc1 = t1.await;
+            assert_eq!(&wc1.data.as_ref().unwrap()[..4], b"abcd");
+            assert_eq!(&wc2.data.as_ref().unwrap()[..4], b"efgh");
+            assert!(qp_a.send_cq().is_empty());
+        });
+    }
+
+    #[test]
+    fn onesided_fault_plan_swallows_completions() {
+        let sim = Sim::new();
+        let sim2 = sim.clone();
+        sim.run_until(async move {
+            let (qp_a, _qp_b) = QueuePair::connect(&sim2, model());
+            qp_a.bind_peer_window(RemoteWindow::new(64));
+            qp_a.set_onesided_faults(Some(FaultPlan::drops(7, 1.0)));
+            qp_a.post_rdma_read(1, 0, 8).unwrap();
+            sim2.sleep(Duration::from_millis(1)).await;
+            assert!(qp_a.send_cq().is_empty(), "dropped read must not complete");
+            assert_eq!(qp_a.onesided_dropped(), 1);
+
+            // Clearing the plan restores delivery.
+            qp_a.set_onesided_faults(None);
+            qp_a.post_rdma_read(2, 0, 8).unwrap();
+            sim2.sleep(Duration::from_millis(1)).await;
+            assert_eq!(qp_a.send_cq().poll(4).len(), 1);
+            assert_eq!(qp_a.onesided_dropped(), 1);
         });
     }
 }

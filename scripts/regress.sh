@@ -22,6 +22,9 @@ trap 'rm -rf "$OUT"' EXIT
 echo "==> running regression bench (fixed scale, seed 42) -> $OUT"
 NBKV_RESULTS_DIR="$OUT" cargo run -q --release -p nbkv-bench --bin regress
 
+echo "==> running one-sided regression bench (fixed scale, seed 42) -> $OUT"
+NBKV_RESULTS_DIR="$OUT" cargo run -q --release -p nbkv-bench --bin regress_onesided
+
 if [[ "${1:-}" == "--bless" ]]; then
     rm -rf "$GOLDEN"
     mkdir -p "$GOLDEN"
