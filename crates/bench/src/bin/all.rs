@@ -20,6 +20,7 @@ fn main() {
         ("phases", nbkv_bench::figs::phases::run),
         ("batch", nbkv_bench::figs::batch::run),
         ("onesided", nbkv_bench::figs::onesided::run),
+        ("replication", nbkv_bench::figs::replication::run),
     ];
     for (name, run) in figures {
         eprintln!("[all] running {name} ...");

@@ -85,6 +85,9 @@ fn main() {
             _ => nbkv_core::DirectPolicy::Off,
         },
         onesided: None,
+        replication: nbkv_core::ReplicationConfig::disabled(),
+        crash: None,
+        resilience: None,
     };
 
     eprintln!(

@@ -1,0 +1,121 @@
+//! Deterministic replication regression bench: pinned-scale runs of the
+//! RF = 1 / RF = 2 write path, both read policies, and the scripted
+//! failover, whose figure JSON and manifest are diffed against committed
+//! goldens by `scripts/regress.sh`.
+//!
+//! Everything is pinned — sizes, ops, seeds, crash schedule — and
+//! independent of `NBKV_SCALE`, so the outputs are byte-identical across
+//! runs of the same tree. Beyond the byte diff, this bin *asserts* the
+//! replication acceptance ratios so the gate fails loudly if the
+//! extension regresses:
+//!
+//! - async RF = 2 write-heavy throughput within 10% of RF = 1;
+//! - spread-reads at least 1.2x primary-only reads on the hot-key
+//!   read-heavy mix (2 clients per server);
+//! - the mid-run primary crash promotes writes to the survivor and the
+//!   run still completes every op.
+
+use nbkv_bench::figs::replication::{
+    failover_crash, failover_resilience, policy_label, small, CLIENTS, READ_HEAVY,
+};
+use nbkv_bench::manifest::Manifest;
+use nbkv_bench::table::Table;
+use nbkv_core::{ReadPolicy, ReplicationConfig};
+use nbkv_workload::OpMix;
+
+fn regress_replication(m: &mut Manifest) -> Table {
+    let mut t = Table::new(
+        "regress_replication",
+        "Regression: exact replication counters (ns), pinned small scale",
+        &[
+            "case",
+            "config",
+            "mean (ns)",
+            "ops",
+            "failed",
+            "repl-sent",
+            "repl-applied",
+            "stale-drops",
+            "replica-reads",
+            "promotions",
+        ],
+    );
+    let rf1 = ReplicationConfig::disabled();
+    let rf2 = ReplicationConfig::default();
+    let spread = ReplicationConfig {
+        rf: 2,
+        read_policy: ReadPolicy::SpreadReplicas,
+    };
+    // (case label, mix, replication, crash?)
+    let cases: [(&str, OpMix, ReplicationConfig, bool); 5] = [
+        ("write-heavy", OpMix::WRITE_HEAVY, rf1, false),
+        ("write-heavy", OpMix::WRITE_HEAVY, rf2, false),
+        ("read-heavy", READ_HEAVY, rf2, false),
+        ("read-heavy", READ_HEAVY, spread, false),
+        ("failover", OpMix::WRITE_HEAVY, rf2, true),
+    ];
+    let mut thr: Vec<f64> = Vec::new();
+    let mut promotions = 0u64;
+    let mut failover_ops = 0usize;
+    for (case, mix, rc, crash) in cases {
+        let mut e = small(mix, rc);
+        let mut label = policy_label(rc);
+        if crash {
+            e.crash = Some(failover_crash(e.ops_per_client));
+            e.resilience = Some(failover_resilience());
+            label.push_str("+crash");
+        }
+        let (r, cluster_reg) = e.run_obs();
+        let reg = m.record_report(&format!("{case}/{label}"), &r);
+        reg.merge(&cluster_reg);
+        if crash {
+            promotions = cluster_reg.counter("client.promotions");
+            failover_ops = r.ops;
+        } else {
+            thr.push(r.throughput_ops_per_sec());
+        }
+        t.row(vec![
+            case.to_string(),
+            label,
+            r.mean_latency_ns.to_string(),
+            r.ops.to_string(),
+            r.failed_ops.to_string(),
+            cluster_reg.counter("server.repl_sent").to_string(),
+            cluster_reg.counter("store.repl_applied").to_string(),
+            cluster_reg.counter("store.repl_stale_drops").to_string(),
+            cluster_reg.counter("client.replica_reads").to_string(),
+            cluster_reg.counter("client.promotions").to_string(),
+        ]);
+    }
+    // The acceptance gates, re-asserted at regression scale.
+    let rf_cost = thr[1] / thr[0];
+    assert!(
+        rf_cost >= 0.90,
+        "rf=2 write-heavy throughput fell more than 10% below rf=1: {rf_cost:.3}"
+    );
+    let spread_win = thr[3] / thr[2];
+    assert!(
+        spread_win >= 1.2,
+        "spread-reads no longer beat primary-reads by >= 1.2x: {spread_win:.2}x"
+    );
+    assert!(promotions > 0, "failover case recorded no promotions");
+    assert_eq!(failover_ops, 600 * CLIENTS, "failover case lost ops");
+    t.note(
+        "pinned: 8 MiB memory, 64 keys of 1 KiB, 600 ops x 4 clients over 2 servers, \
+         window 64, seed 42; NBKV_SCALE does not apply.",
+    );
+    t.note(format!(
+        "gates (asserted): rf=2/rf=1 write throughput {rf_cost:.3} >= 0.90; \
+         spread/primary read throughput {spread_win:.2}x >= 1.2x; \
+         failover promotions {promotions} > 0 with all {failover_ops} ops completed."
+    ));
+    t
+}
+
+fn main() {
+    nbkv_bench::figs::banner("regress_replication");
+    // Fixed scale/seed: the manifest must not vary with the environment.
+    let mut m = Manifest::new_fixed("regress_replication", 1.0, 42);
+    regress_replication(&mut m).emit();
+    m.emit();
+}

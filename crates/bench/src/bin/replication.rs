@@ -1,0 +1,12 @@
+//! Replication comparison: RF cost, read scale-out, and crash failover.
+
+use nbkv_bench::manifest::Manifest;
+
+fn main() {
+    nbkv_bench::figs::banner("replication");
+    let mut m = Manifest::new("replication");
+    for t in nbkv_bench::figs::replication::run(&mut m) {
+        t.emit();
+    }
+    m.emit();
+}

@@ -25,6 +25,9 @@ fn run_point(design: Design, servers: usize) -> RunReport {
         batch: 0,
         direct: nbkv_core::DirectPolicy::Off,
         onesided: None,
+        replication: nbkv_core::ReplicationConfig::disabled(),
+        crash: None,
+        resilience: None,
     }
     .run()
 }

@@ -2,9 +2,9 @@
 
 use std::rc::Rc;
 
-use nbkv_core::cluster::{build_cluster, Cluster, ClusterConfig};
+use nbkv_core::cluster::{build_cluster, schedule_crash, Cluster, ClusterConfig, CrashEvent};
 use nbkv_core::designs::Design;
-use nbkv_core::DirectPolicy;
+use nbkv_core::{DirectPolicy, ReplicationConfig};
 use nbkv_obs::Registry;
 use nbkv_simrt::{join_all, Sim};
 use nbkv_storesim::DeviceProfile;
@@ -72,6 +72,17 @@ pub struct LatencyExp {
     /// read-heavy figures size buckets to the key count so fingerprint
     /// collisions do not dominate the direct-hit rate.
     pub onesided: Option<nbkv_core::OneSidedConfig>,
+    /// Primary–replica replication (RF and read-side replica selection).
+    /// [`ReplicationConfig::disabled`] keeps every key single-copy.
+    pub replication: ReplicationConfig,
+    /// Scripted crash (and optional warm restart) of one server. Times
+    /// are measured from the *end of the preload* — the start of the
+    /// measured phase — so the schedule is independent of preload length.
+    pub crash: Option<CrashEvent>,
+    /// Client resilience override (`None` keeps the [`ClientConfig`]
+    /// default). Crash experiments set a short deadline so in-flight ops
+    /// on the crashed node fail over quickly.
+    pub resilience: Option<nbkv_core::ResiliencePolicy>,
 }
 
 impl LatencyExp {
@@ -93,6 +104,9 @@ impl LatencyExp {
             batch: 0,
             direct: DirectPolicy::Off,
             onesided: None,
+            replication: ReplicationConfig::disabled(),
+            crash: None,
+            resilience: None,
         }
     }
 
@@ -107,6 +121,10 @@ impl LatencyExp {
         }
         cfg.client.direct = self.direct;
         cfg.onesided = self.onesided;
+        cfg.replication = self.replication;
+        if let Some(r) = self.resilience {
+            cfg.client.resilience = r;
+        }
         cfg
     }
 
@@ -142,10 +160,22 @@ impl LatencyExp {
             batch: self.batch,
         };
         let clients: Vec<_> = cluster.clients.iter().map(Rc::clone).collect();
+        let servers: Vec<_> = cluster.servers.iter().map(Rc::clone).collect();
+        let crash = self.crash;
+        let replicated = self.replication.is_replicated();
         let sim2 = sim.clone();
         let report = sim.run_until(async move {
             // Preload through the first client (not measured).
             preload(&clients[0], keys, value_len).await;
+            // Crash schedules are anchored to the measured phase.
+            if let Some(mut ev) = crash {
+                let t0 = std::time::Duration::from_nanos(sim2.now().as_nanos());
+                ev.at += t0;
+                if let Some(r) = &mut ev.restart_at {
+                    *r += t0;
+                }
+                schedule_crash(&sim2, &servers, &clients, ev, replicated);
+            }
             // Measured phase: all clients run concurrently.
             let tasks: Vec<_> = clients
                 .iter()
@@ -186,6 +216,10 @@ pub fn cluster_registry(cluster: &Cluster) -> Registry {
         reg.inc("server.recv_during_flush", st.recv_during_flush);
         reg.inc("server.batches", st.batches);
         reg.inc("server.batch_ops", st.batch_ops);
+        reg.inc("server.repl_sent", st.repl_sent);
+        reg.inc("server.repl_acked", st.repl_acked);
+        reg.inc("server.repl_retrans", st.repl_retrans);
+        reg.gauge_max("server.repl_lag_ops", s.repl_lag_ops() as i64);
         let ss = s.store().stats();
         reg.inc("store.sets", ss.sets);
         reg.inc("store.get_hits_ram", ss.get_hits_ram);
@@ -197,6 +231,8 @@ pub fn cluster_registry(cluster: &Cluster) -> Registry {
         reg.inc("store.evicted_items", ss.evicted_items);
         reg.inc("store.promotes", ss.promotes);
         reg.inc("store.inflight_hits", ss.inflight_hits);
+        reg.inc("store.repl_applied", ss.repl_applied);
+        reg.inc("store.repl_stale_drops", ss.repl_stale_drops);
         if let Some(io) = s.store().slab_io() {
             let io = io.io_stats();
             reg.inc("slab_io.reads", io.reads);
@@ -231,6 +267,8 @@ pub fn cluster_registry(cluster: &Cluster) -> Registry {
         reg.inc("client.ssd_fallbacks", st.ssd_fallbacks);
         reg.inc("client.direct_lost", st.direct_lost);
         reg.inc("client.mode_flips", st.mode_flips);
+        reg.inc("client.replica_reads", st.replica_reads);
+        reg.inc("client.promotions", st.promotions);
         let mr = c.mr_stats();
         reg.inc("client.mr_hits", mr.hits);
         reg.inc("client.mr_misses", mr.misses);

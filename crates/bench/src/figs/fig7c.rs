@@ -35,6 +35,9 @@ pub fn run_design(design: Design) -> RunReport {
         batch: 0,
         direct: nbkv_core::DirectPolicy::Off,
         onesided: None,
+        replication: nbkv_core::ReplicationConfig::disabled(),
+        crash: None,
+        resilience: None,
     }
     .run()
 }

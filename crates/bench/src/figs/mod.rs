@@ -17,6 +17,7 @@ pub mod fig8a;
 pub mod fig8b;
 pub mod onesided;
 pub mod phases;
+pub mod replication;
 pub mod table1;
 
 use crate::exp::scale_factor;

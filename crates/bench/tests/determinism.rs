@@ -37,6 +37,19 @@ fn render_once() -> String {
     let (r, cluster_reg) = exp.run_obs();
     let reg = m.record_report("onesided", &r);
     reg.merge(&cluster_reg);
+    // A replicated run with a scripted mid-run crash and warm restart:
+    // replication doorbells, retransmits, breaker-driven failover
+    // promotions, and the catch-up demotion must replay bit-for-bit too.
+    let mix = nbkv_workload::OpMix { read_pct: 50 };
+    let mut exp =
+        nbkv_bench::figs::replication::small(mix, nbkv_core::ReplicationConfig::default());
+    exp.crash = Some(nbkv_bench::figs::replication::failover_crash(
+        exp.ops_per_client,
+    ));
+    exp.resilience = Some(nbkv_bench::figs::replication::failover_resilience());
+    let (r, cluster_reg) = exp.run_obs();
+    let reg = m.record_report("replicated-crash", &r);
+    reg.merge(&cluster_reg);
     m.render()
 }
 
@@ -66,5 +79,9 @@ fn manifests_are_byte_identical_across_runs() {
     assert!(
         a.contains("client.direct_hits"),
         "manifest must include the one-sided run's direct-read counters"
+    );
+    assert!(
+        a.contains("server.repl_sent") && a.contains("client.promotions"),
+        "manifest must include the replicated run's replication counters"
     );
 }

@@ -192,6 +192,15 @@ impl Breaker {
     }
 
     pub(crate) fn on_success(&self) {
+        // A success that lands while the breaker is open (and not probing)
+        // is a *late* response to a request issued before the trip — e.g.
+        // an ack already in flight when a crash notification forced the
+        // breaker open. It says nothing about the server's health now, so
+        // it must not un-trip the breaker; only a half-open probe (or an
+        // explicit [`Breaker::reset`]) closes it.
+        if self.open_until.get().is_some() && !self.half_open.get() {
+            return;
+        }
         self.consecutive_failures.set(0);
         self.half_open.set(false);
         self.open_until.set(None);
@@ -216,6 +225,27 @@ impl Breaker {
 
     pub(crate) fn trips(&self) -> u64 {
         self.trips.get()
+    }
+
+    /// Open the breaker immediately (a crash notification): attempts are
+    /// rejected for `cooldown` without burning any failure threshold —
+    /// the client retargets a crashed server's keys on the very next
+    /// attempt instead of spending a full deadline discovering the crash.
+    pub(crate) fn force_open(&self, now: SimTime, cfg: &BreakerConfig) {
+        self.consecutive_failures.set(0);
+        self.half_open.set(false);
+        self.open_until.set(Some(now + cfg.cooldown));
+        self.trips.set(self.trips.get() + 1);
+    }
+
+    /// Close the breaker unconditionally (a restart notification):
+    /// traffic may route here again at once — demotion back to the
+    /// recovered primary without waiting out the cooldown. Unlike
+    /// [`Breaker::on_success`], this clears even a fully-open breaker.
+    pub(crate) fn reset(&self) {
+        self.consecutive_failures.set(0);
+        self.half_open.set(false);
+        self.open_until.set(None);
     }
 }
 
@@ -253,6 +283,35 @@ mod tests {
             assert!(d >= Duration::from_micros(50));
             assert!(d <= Duration::from_millis(2));
         }
+    }
+
+    /// Regression: an ack already in flight when a crash notification
+    /// forces the breaker open must not close it again (the late-ack
+    /// race) — but a half-open probe success still does.
+    #[test]
+    fn late_success_does_not_untrip_a_forced_open_breaker() {
+        let cfg = BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(50),
+        };
+        let b = Breaker::default();
+        let crash = SimTime::from_nanos(10_000_000);
+        b.force_open(crash, &cfg);
+        // A pre-crash request's response lands just after the trip.
+        b.on_success();
+        assert!(
+            !b.allows(SimTime::from_nanos(10_000_300)),
+            "late ack must not un-trip the crash ejection"
+        );
+        // An explicit restart notification does clear it.
+        b.reset();
+        assert!(b.allows(SimTime::from_nanos(10_000_400)));
+        // And so does a successful half-open probe after the cooldown.
+        b.force_open(crash, &cfg);
+        let after_cooldown = SimTime::from_nanos(70_000_000);
+        assert!(b.allows(after_cooldown), "probe allowed after cooldown");
+        b.on_success();
+        assert!(b.allows(after_cooldown), "probe success closes the breaker");
     }
 
     #[test]

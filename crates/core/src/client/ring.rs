@@ -53,6 +53,30 @@ impl Ring {
         let (_, server) = self.points[idx % self.points.len()];
         server as usize
     }
+
+    /// The ordered replica set for `key` at replication factor `rf`:
+    /// walk the ring clockwise from the key's point and collect the first
+    /// `rf` *distinct* servers. The first entry is always
+    /// [`select`](Self::select)'s primary; `rf` is clamped to the server
+    /// count, so the result is never empty and never repeats a server.
+    pub fn select_replicas(&self, key: &[u8], rf: usize) -> Vec<usize> {
+        debug_assert!(!self.points.is_empty(), "select on an empty ring");
+        let want = rf.clamp(1, self.servers);
+        let h = mix64(fnv1a(key));
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut replicas = Vec::with_capacity(want);
+        for step in 0..self.points.len() {
+            let (_, server) = self.points[(start + step) % self.points.len()];
+            let server = server as usize;
+            if !replicas.contains(&server) {
+                replicas.push(server);
+                if replicas.len() == want {
+                    break;
+                }
+            }
+        }
+        replicas
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +151,100 @@ mod tests {
         // Consistent hashing: ~1/5 of keys move, far from all of them.
         assert!(moved < 5_000, "{moved}/10000 keys moved");
         assert!(moved > 500, "{moved}/10000 keys moved (suspiciously few)");
+    }
+
+    #[test]
+    fn replica_sets_start_at_the_primary_and_clamp_to_server_count() {
+        let ring = Ring::new(3);
+        for i in 0..500 {
+            let k = format!("key-{i:06}");
+            let k = k.as_bytes();
+            assert_eq!(ring.select_replicas(k, 1), vec![ring.select(k)]);
+            let two = ring.select_replicas(k, 2);
+            assert_eq!(two.len(), 2);
+            assert_eq!(two[0], ring.select(k));
+            // rf beyond the cluster clamps: every server, each exactly once.
+            let all = ring.select_replicas(k, 8);
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+            assert_eq!(all[..2], two[..]);
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// For random key sets and RF in {1,2,3}: replica sets contain
+        /// `rf` *distinct* servers led by the primary, growing the
+        /// cluster only remaps the keys whose vnode arcs moved, and
+        /// per-replica-slot skew stays within the same 2.5x-of-fair bound
+        /// the mix64 skew test pins for primaries.
+        #[test]
+        fn replica_sets_are_disjoint_stable_and_balanced(
+            seed in any::<u32>(),
+            servers in 4usize..=9,
+            rf in 1usize..=3,
+        ) {
+            const KEYS: usize = 4_000;
+            let ring = Ring::new(servers);
+            let grown = Ring::new(servers + 1);
+            let keys: Vec<String> =
+                (0..KEYS).map(|i| format!("key-{seed:08x}-{i:06}")).collect();
+
+            let mut counts = vec![0usize; servers];
+            let mut moved = 0usize;
+            for k in &keys {
+                let k = k.as_bytes();
+                let set = ring.select_replicas(k, rf);
+                // Distinct servers, primary first.
+                prop_assert_eq!(set.len(), rf);
+                prop_assert_eq!(set[0], ring.select(k));
+                let mut dedup = set.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), rf, "replica set repeats a server");
+                for &s in &set {
+                    counts[s] += 1;
+                }
+                // Stability under growth: a key's set only changes if one
+                // of its ring-walk arcs was taken over by the new server —
+                // i.e. the grown set is the old set with (at most) new
+                // members spliced in; surviving members keep their order.
+                let grown_set = grown.select_replicas(k, rf);
+                if grown_set != set {
+                    moved += 1;
+                    let survivors: Vec<usize> = grown_set
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != servers)
+                        .collect();
+                    let mut it = set.iter();
+                    prop_assert!(
+                        survivors.iter().all(|s| it.any(|o| o == s)),
+                        "grown set {grown_set:?} reordered survivors of {set:?}"
+                    );
+                }
+            }
+            // Only a bounded fraction of keys may change placement: the
+            // new server owns ~1/(n+1) of each of the rf walk positions.
+            let expect = KEYS * rf / (servers + 1);
+            prop_assert!(
+                moved <= expect * 3 + KEYS / 10,
+                "{moved}/{KEYS} keys remapped at rf={rf} (expected ~{expect})"
+            );
+            // Skew: each key counts once per replica slot, so the fair
+            // share is rf*KEYS/servers; hold every server to the primary
+            // test's 2.5x band around it.
+            let fair = KEYS * rf / servers;
+            for (s, &c) in counts.iter().enumerate() {
+                prop_assert!(
+                    c * 5 >= fair * 2 && c * 2 <= fair * 5,
+                    "server {s} holds {c} of {KEYS} keys at rf={rf} (fair {fair})"
+                );
+            }
+        }
     }
 }

@@ -44,6 +44,7 @@ use crate::costs::CpuCosts;
 use crate::proto::{
     ApiFlavor, LeaseGeometry, OpStatus, Request, Response, ServedFrom, SetMode, StageTimes,
 };
+use crate::replication::{ReadPolicy, ReplicationConfig};
 
 /// Client configuration.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +65,12 @@ pub struct ClientConfig {
     /// [`DirectPolicy::Off`] requires queue pairs bound to the servers'
     /// index windows (see [`Client::new_with_onesided`]).
     pub direct: DirectPolicy,
+    /// Replication awareness: replica-set routing for failover (writes
+    /// promote to the next live replica when the primary's breaker is
+    /// open) and the read-side replica policy. Must match the cluster's
+    /// replication config; the default (`rf = 1`) is plain single-copy
+    /// routing.
+    pub replication: ReplicationConfig,
 }
 
 impl Default for ClientConfig {
@@ -74,6 +81,7 @@ impl Default for ClientConfig {
             resilience: ResiliencePolicy::default(),
             batch: None,
             direct: DirectPolicy::Off,
+            replication: ReplicationConfig::disabled(),
         }
     }
 }
@@ -170,6 +178,12 @@ pub struct ClientStats {
     pub direct_lost: u64,
     /// Adaptive-policy mode changes (RPC↔direct), across all servers.
     pub mode_flips: u64,
+    /// Read attempts routed to a non-primary replica (spread reads plus
+    /// reads failed over from a dead primary).
+    pub replica_reads: u64,
+    /// Write attempts promoted to a non-primary replica because the
+    /// primary's breaker was open (crash failover).
+    pub promotions: u64,
 }
 
 /// A Memcached client bound to one or more servers.
@@ -186,6 +200,20 @@ pub struct Client {
     breakers: Vec<Breaker>,
     batcher: Option<Rc<Batcher>>,
     directs: Vec<Option<Rc<DirectReadEngine>>>,
+    /// Round-robin cursor for [`ReadPolicy::SpreadReplicas`].
+    read_rr: Cell<u64>,
+}
+
+/// The routing order for one key: the key's replica set (ring order,
+/// primary first — possibly rotated for spread reads) followed by every
+/// remaining server in `(primary + k) % n` order. At `rf = 1` this is
+/// exactly the pre-replication failover order.
+struct RouteSet {
+    order: Vec<usize>,
+    /// How many leading entries of `order` are replica-set members.
+    replicas: usize,
+    /// The key's true ring primary (for promotion/replica-read counting).
+    primary: usize,
 }
 
 impl Client {
@@ -271,6 +299,7 @@ impl Client {
             breakers,
             batcher,
             directs,
+            read_rr: Cell::new(0),
         });
         // Fetch each one-sided server's window lease in the background; a
         // GET that races ahead of the handshake just takes the RPC path.
@@ -325,6 +354,23 @@ impl Client {
     /// Total circuit-breaker trips across all servers.
     pub fn breaker_trips(&self) -> u64 {
         self.breakers.iter().map(|b| b.trips()).sum()
+    }
+
+    /// Crash notification (fast failure detection, e.g. an RDMA QP event
+    /// or the cluster manager's heartbeat): open `server`'s breaker
+    /// immediately so the very next attempt retargets the key's next live
+    /// replica, instead of burning a full per-attempt deadline discovering
+    /// the crash. A no-op when the policy has no breaker.
+    pub fn notify_server_crashed(&self, server: usize) {
+        if let Some(bc) = self.cfg.resilience.breaker {
+            self.breakers[server].force_open(self.sim.now(), &bc);
+        }
+    }
+
+    /// Restart notification: close `server`'s breaker so traffic demotes
+    /// back from its replicas without waiting out the breaker cooldown.
+    pub fn notify_server_restarted(&self, server: usize) {
+        self.breakers[server].reset();
     }
 
     /// Counter snapshot.
@@ -461,8 +507,8 @@ impl Client {
         self.prepare_buffer(&key).await;
         self.prepare_buffer(&value).await;
         let expire_at_ns = expire.map_or(0, |d| (self.sim.now() + d).as_nanos());
-        let server = self.ring.select(&key);
-        self.call_blocking(server, false, &|req_id| Request::Set {
+        let rs = self.route_set(&key);
+        self.call_blocking(rs, false, &|req_id| Request::Set {
             req_id,
             flavor: ApiFlavor::Block,
             mode: SetMode::Set,
@@ -479,10 +525,13 @@ impl Client {
     /// [`ResiliencePolicy::hedge_after`] is set.
     pub async fn get(&self, key: Bytes) -> Result<Completion, ClientError> {
         self.mr.ensure_registered(&key).await;
-        let server = self.ring.select(&key);
-        // Direct fast path: a validated one-sided read returns without
-        // touching the server CPU; any other outcome falls through to the
-        // full resilience engine below.
+        let rs = self.read_route_set(&key);
+        // The selected replica (under SpreadReplicas this rotates across
+        // the key's copies; otherwise it is the primary).
+        let server = rs.order[0];
+        // Direct fast path: a validated one-sided read of the *selected
+        // replica's* window returns without touching any server CPU; any
+        // other outcome falls through to the full resilience engine below.
         if let Some(engine) = self.directs.get(server).and_then(|e| e.clone()) {
             if engine.decide() {
                 let t0 = self.sim.now();
@@ -499,6 +548,7 @@ impl Client {
                     if !cost.is_zero() {
                         self.sim.sleep(cost).await;
                     }
+                    self.note_replica_route(&rs, server, true);
                     {
                         let mut st = self.stats.borrow_mut();
                         st.issued += 1;
@@ -521,7 +571,7 @@ impl Client {
                 }
             }
         }
-        self.call_blocking(server, true, &|req_id| Request::Get {
+        self.call_blocking(rs, true, &|req_id| Request::Get {
             req_id,
             flavor: ApiFlavor::Block,
             key: key.clone(),
@@ -532,8 +582,8 @@ impl Client {
     /// Blocking delete.
     pub async fn delete(&self, key: Bytes) -> Result<Completion, ClientError> {
         self.mr.ensure_registered(&key).await;
-        let server = self.ring.select(&key);
-        self.call_blocking(server, false, &|req_id| Request::Delete {
+        let rs = self.route_set(&key);
+        self.call_blocking(rs, false, &|req_id| Request::Delete {
             req_id,
             flavor: ApiFlavor::Block,
             key: key.clone(),
@@ -613,8 +663,8 @@ impl Client {
     ) -> Result<Completion, ClientError> {
         self.prepare_buffer(&key).await;
         let expire_at_ns = expire.map_or(0, |d| (self.sim.now() + d).as_nanos());
-        let server = self.ring.select(&key);
-        self.call_blocking(server, false, &|req_id| Request::Touch {
+        let rs = self.route_set(&key);
+        self.call_blocking(rs, false, &|req_id| Request::Touch {
             req_id,
             flavor: ApiFlavor::Block,
             key: key.clone(),
@@ -625,8 +675,12 @@ impl Client {
 
     /// Fetch a full observability snapshot from server `server_idx`
     /// (memcached's `stats` command). Stats target a specific server, so
-    /// there is no failover; the policy deadline still applies (a crashed
-    /// server yields [`ClientError::TimedOut`], not a hang).
+    /// there is no failover for *this* call; the policy deadline still
+    /// applies (a crashed server yields [`ClientError::TimedOut`], not a
+    /// hang). Keyed operations *do* fail over: the route order tries the
+    /// key's replicas first, and [`Client::notify_server_crashed`] opens a
+    /// crashed server's breaker immediately so failover does not wait out
+    /// a deadline.
     pub async fn server_stats(
         &self,
         server_idx: usize,
@@ -696,8 +750,8 @@ impl Client {
         self.prepare_buffer(&key).await;
         self.prepare_buffer(&value).await;
         let expire_at_ns = expire.map_or(0, |d| (self.sim.now() + d).as_nanos());
-        let server = self.ring.select(&key);
-        self.call_blocking(server, false, &|req_id| Request::Set {
+        let rs = self.route_set(&key);
+        self.call_blocking(rs, false, &|req_id| Request::Set {
             req_id,
             flavor: ApiFlavor::Block,
             mode,
@@ -716,8 +770,8 @@ impl Client {
         negative: bool,
     ) -> Result<Completion, ClientError> {
         self.prepare_buffer(&key).await;
-        let server = self.ring.select(&key);
-        self.call_blocking(server, false, &|req_id| Request::Counter {
+        let rs = self.route_set(&key);
+        self.call_blocking(rs, false, &|req_id| Request::Counter {
             req_id,
             flavor: ApiFlavor::Block,
             key: key.clone(),
@@ -751,7 +805,9 @@ impl Client {
         mode: SetMode,
     ) -> Result<ReqHandle, ClientError> {
         let expire_at_ns = expire.map_or(0, |d| (self.sim.now() + d).as_nanos());
-        let server = self.ring.select(&key);
+        let rs = self.route_set(&key);
+        let server = self.pick_live(&rs);
+        self.note_replica_route(&rs, server, false);
         let req_id = self.alloc_req_id();
         let req = Request::Set {
             req_id,
@@ -775,7 +831,9 @@ impl Client {
         flavor: ApiFlavor,
         wait_sent: bool,
     ) -> Result<ReqHandle, ClientError> {
-        let server = self.ring.select(&key);
+        let rs = self.read_route_set(&key);
+        let server = self.pick_live(&rs);
+        self.note_replica_route(&rs, server, true);
         if let Some(engine) = self.directs.get(server).and_then(|e| e.clone()) {
             if engine.decide() {
                 return self.issue_direct_get(server, engine, key, flavor).await;
@@ -976,11 +1034,12 @@ impl Client {
 
     /// Run a blocking operation under the [`ResiliencePolicy`]: per-attempt
     /// deadline, bounded retries with deterministic backoff, breaker-driven
-    /// failover, and (for gets) optional hedging.
+    /// failover along the key's route order (replicas first), and (for
+    /// reads) optional hedging.
     async fn call_blocking(
         &self,
-        primary: usize,
-        hedge_ok: bool,
+        rs: RouteSet,
+        is_read: bool,
         make: &dyn Fn(u64) -> Request,
     ) -> Result<Completion, ClientError> {
         let pol = self.cfg.resilience;
@@ -995,11 +1054,12 @@ impl Client {
                     self.sim.sleep(delay).await;
                 }
             }
-            let Some(server) = self.route(primary) else {
+            let Some(server) = self.route(&rs) else {
                 self.stats.borrow_mut().breaker_rejections += 1;
                 unavailable += 1;
                 continue;
             };
+            self.note_replica_route(&rs, server, is_read);
             let h = match self.post(server, make(self.alloc_req_id()), false).await {
                 Ok(h) => h,
                 Err(_) => {
@@ -1008,7 +1068,10 @@ impl Client {
                     continue;
                 }
             };
-            match self.await_attempt(&h, server, &pol, hedge_ok, make).await {
+            match self
+                .await_attempt(&h, server, &rs, &pol, is_read, make)
+                .await
+            {
                 Some(c) => {
                     if pol.retry_server_errors && c.status == OpStatus::Error {
                         server_errors += 1;
@@ -1035,12 +1098,13 @@ impl Client {
         &self,
         h: &ReqHandle,
         server: usize,
+        rs: &RouteSet,
         pol: &ResiliencePolicy,
         hedge_ok: bool,
         make: &dyn Fn(u64) -> Request,
     ) -> Option<Completion> {
         // Hedged path: wait `hedge_after` on the primary, then race a
-        // duplicate posted to the next ring server.
+        // duplicate posted to the next server in the route order.
         if hedge_ok {
             if let Some(hedge_after) = pol.hedge_after {
                 if pol.deadline.is_none_or(|d| hedge_after < d) {
@@ -1049,7 +1113,7 @@ impl Client {
                         return Some(c);
                     }
                     let remaining = pol.deadline.map(|d| d.saturating_sub(hedge_after));
-                    if let Some(hs) = self.route_hedge(server) {
+                    if let Some(hs) = self.route_hedge(rs, server) {
                         if let Ok(h2) = self.post(hs, make(self.alloc_req_id()), false).await {
                             self.stats.borrow_mut().hedges += 1;
                             let raced = race_waits(h, &h2);
@@ -1120,30 +1184,93 @@ impl Client {
         }
     }
 
-    /// Pick the server for an attempt: the ring's primary unless its
-    /// breaker is open, in which case the next ring server whose breaker
-    /// allows traffic (memcached-style host ejection). `None` when every
-    /// breaker is open.
-    fn route(&self, primary: usize) -> Option<usize> {
+    /// Build the routing order for a key: its replica set (primary first)
+    /// then the remaining ring servers in `(primary + k) % n` order.
+    fn route_set(&self, key: &[u8]) -> RouteSet {
+        let n = self.txs.len();
+        let mut order = self.ring.select_replicas(key, self.cfg.replication.rf);
+        let primary = order[0];
+        let replicas = order.len();
+        for k in 1..n {
+            let s = (primary + k) % n;
+            if !order[..replicas].contains(&s) {
+                order.push(s);
+            }
+        }
+        RouteSet {
+            order,
+            replicas,
+            primary,
+        }
+    }
+
+    /// Routing order for a *read*: like [`route_set`](Self::route_set),
+    /// but under [`ReadPolicy::SpreadReplicas`] the replica prefix is
+    /// rotated round-robin so reads fan out across the key's copies.
+    fn read_route_set(&self, key: &[u8]) -> RouteSet {
+        let mut rs = self.route_set(key);
+        if self.cfg.replication.read_policy == ReadPolicy::SpreadReplicas && rs.replicas > 1 {
+            let r = self.read_rr.get();
+            self.read_rr.set(r.wrapping_add(1));
+            let rot = (r % rs.replicas as u64) as usize;
+            rs.order[..rs.replicas].rotate_left(rot);
+        }
+        rs
+    }
+
+    /// Non-blocking issue target: the first replica whose breaker allows
+    /// traffic (falling back to the head of the order when every replica
+    /// breaker is open — the send then fails fast or times out).
+    fn pick_live(&self, rs: &RouteSet) -> usize {
         if self.cfg.resilience.breaker.is_none() {
-            return Some(primary);
+            return rs.order[0];
         }
         let now = self.sim.now();
-        let n = self.txs.len();
-        (0..n)
-            .map(|k| (primary + k) % n)
+        rs.order[..rs.replicas]
+            .iter()
+            .copied()
+            .find(|&s| self.breakers[s].allows(now))
+            .unwrap_or(rs.order[0])
+    }
+
+    /// Count a routed attempt that landed on a non-primary replica
+    /// (failover promotion for writes, replica read for reads).
+    fn note_replica_route(&self, rs: &RouteSet, server: usize, is_read: bool) {
+        if server != rs.primary && rs.order[..rs.replicas].contains(&server) {
+            let mut st = self.stats.borrow_mut();
+            if is_read {
+                st.replica_reads += 1;
+            } else {
+                st.promotions += 1;
+            }
+        }
+    }
+
+    /// Pick the server for an attempt: the first server in the route
+    /// order whose breaker allows traffic (memcached-style host ejection,
+    /// extended to prefer the key's replicas before arbitrary ring
+    /// neighbours). `None` when every breaker is open.
+    fn route(&self, rs: &RouteSet) -> Option<usize> {
+        if self.cfg.resilience.breaker.is_none() {
+            return Some(rs.order[0]);
+        }
+        let now = self.sim.now();
+        rs.order
+            .iter()
+            .copied()
             .find(|&s| self.breakers[s].allows(now))
     }
 
-    /// A hedge target distinct from `primary`, if any breaker allows one.
-    fn route_hedge(&self, primary: usize) -> Option<usize> {
-        let n = self.txs.len();
-        if n < 2 {
+    /// A hedge target distinct from `used`, if any breaker allows one.
+    fn route_hedge(&self, rs: &RouteSet, used: usize) -> Option<usize> {
+        if self.txs.len() < 2 {
             return None;
         }
         let now = self.sim.now();
-        (1..n)
-            .map(|k| (primary + k) % n)
+        rs.order
+            .iter()
+            .copied()
+            .filter(|&s| s != used)
             .find(|&s| self.cfg.resilience.breaker.is_none() || self.breakers[s].allows(now))
     }
 

@@ -9,9 +9,10 @@ use nbkv_storesim::{
     DeviceProfile, HostModel, SlabIo, SlabIoConfig, SsdDevice, SsdFaultPlan, SsdFaultStats,
 };
 
-use crate::client::{Client, ClientConfig, DirectPolicy};
+use crate::client::{Client, ClientConfig, DirectPolicy, Ring};
 use crate::costs::CpuCosts;
 use crate::designs::{Design, SpecParams};
+use crate::replication::ReplicationConfig;
 use crate::server::{OneSidedConfig, Server};
 
 /// One scripted server crash (and optional warm restart) in virtual time.
@@ -87,6 +88,12 @@ pub struct ClusterConfig {
     /// when) [`ClientConfig::direct`] is not [`DirectPolicy::Off`];
     /// `Some` forces publication with the given geometry either way.
     pub onesided: Option<OneSidedConfig>,
+    /// Primary–replica replication. The default
+    /// ([`ReplicationConfig::disabled`]) keeps every key single-copy;
+    /// with `rf > 1` the builder wires a full server-to-server mesh,
+    /// enables each server's replication engine, and copies the config
+    /// into every client so routing agrees on the replica sets.
+    pub replication: ReplicationConfig,
 }
 
 impl ClusterConfig {
@@ -107,6 +114,7 @@ impl ClusterConfig {
             fabric_override: None,
             chaos: ChaosConfig::default(),
             onesided: None,
+            replication: ReplicationConfig::disabled(),
         }
     }
 }
@@ -198,8 +206,44 @@ pub fn build_cluster(sim: &Sim, cfg: &ClusterConfig) -> Cluster {
         servers.push(Server::new(sim, server_cfg, ssd));
     }
 
-    let mut clients = Vec::with_capacity(cfg.clients);
     let mut links = Vec::new();
+
+    // Server-to-server replication mesh: one directional link per ordered
+    // pair (i -> j) carrying i's Replicate frames and j's acks back. The
+    // receiving side is a plain `accept`, so replication traffic rides the
+    // same request pipeline (and doorbell batching) as client traffic.
+    if cfg.replication.is_replicated() && cfg.servers > 1 {
+        let ring = Ring::new(cfg.servers);
+        for i in 0..cfg.servers {
+            let mut peers = Vec::with_capacity(cfg.servers - 1);
+            for (j, target) in servers.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let (i_side, j_side) = fabric.connect();
+                let pair = (i * cfg.servers + j) as u64;
+                if let Some(template) = &cfg.chaos.link_faults {
+                    let mut fwd = template.clone();
+                    fwd.seed = derive_seed(cfg.chaos.seed, pair, 0x525);
+                    i_side.set_fault_plan(Some(fwd));
+                    let mut ack = template.clone();
+                    ack.seed = derive_seed(cfg.chaos.seed, pair, 0x5AC);
+                    j_side.set_fault_plan(Some(ack));
+                }
+                links.push(i_side.sender_link().fault_handle());
+                links.push(j_side.sender_link().fault_handle());
+                target.accept(j_side);
+                peers.push((j, i_side));
+            }
+            servers[i].enable_replication(i, ring.clone(), cfg.replication.rf, peers);
+        }
+    }
+
+    // Clients must agree with the servers on the replica sets.
+    let mut client_cfg = cfg.client;
+    client_cfg.replication = cfg.replication;
+
+    let mut clients = Vec::with_capacity(cfg.clients);
     for ci in 0..cfg.clients {
         let mut transports = Vec::with_capacity(cfg.servers);
         let mut qps = Vec::with_capacity(cfg.servers);
@@ -237,28 +281,18 @@ pub fn build_cluster(sim: &Sim, cfg: &ClusterConfig) -> Cluster {
             };
             qps.push(qp);
         }
-        clients.push(Client::new_with_onesided(sim, transports, qps, cfg.client));
+        clients.push(Client::new_with_onesided(sim, transports, qps, client_cfg));
     }
 
     // Scripted crashes and warm restarts.
     for ev in &cfg.chaos.crashes {
-        assert!(ev.server < servers.len(), "crash event for unknown server");
-        if let Some(r) = ev.restart_at {
-            assert!(ev.at < r, "restart must follow the crash");
-        }
-        let server = Rc::clone(&servers[ev.server]);
-        let s = sim.clone();
-        let ev = *ev;
-        sim.spawn(async move {
-            s.sleep_until(SimTime::from_nanos(ev.at.as_nanos() as u64))
-                .await;
-            server.crash();
-            if let Some(r) = ev.restart_at {
-                s.sleep_until(SimTime::from_nanos(r.as_nanos() as u64))
-                    .await;
-                server.restart().await;
-            }
-        });
+        schedule_crash(
+            sim,
+            &servers,
+            &clients,
+            *ev,
+            cfg.replication.is_replicated(),
+        );
     }
 
     Cluster {
@@ -267,6 +301,61 @@ pub fn build_cluster(sim: &Sim, cfg: &ClusterConfig) -> Cluster {
         devices,
         links,
     }
+}
+
+/// Schedule one scripted crash (and optional warm restart) of a cluster
+/// server, with prompt client notifications. Clients learn of both events
+/// promptly (the simulated analogue of an RDMA QP error event / a
+/// cluster-manager heartbeat): the crash opens the server's breaker on
+/// every client so keyed traffic retargets the next live replica without
+/// burning a deadline, and the restart closes it again (demotion). In a
+/// `replicated` cluster the restart announcement waits out a catch-up
+/// grace first — two retransmit periods for the peers' backlogged
+/// replication deltas to land — so demoted reads do not hit a replica
+/// that has not yet absorbed the writes promoted while it was down.
+///
+/// `ev.at` and `ev.restart_at` are absolute virtual times. Called by
+/// [`build_cluster`] for every [`ChaosConfig::crashes`] entry; benchmark
+/// harnesses can also call it directly to schedule a crash relative to
+/// the end of a preload.
+pub fn schedule_crash(
+    sim: &Sim,
+    servers: &[Rc<Server>],
+    clients: &[Rc<Client>],
+    ev: CrashEvent,
+    replicated: bool,
+) {
+    assert!(ev.server < servers.len(), "crash event for unknown server");
+    if let Some(r) = ev.restart_at {
+        assert!(ev.at < r, "restart must follow the crash");
+    }
+    let catchup_grace = if replicated {
+        2 * crate::server::runtime::REPL_RETRANSMIT_EVERY
+    } else {
+        Duration::ZERO
+    };
+    let server = Rc::clone(&servers[ev.server]);
+    let watchers: Vec<Rc<Client>> = clients.iter().map(Rc::clone).collect();
+    let s = sim.clone();
+    sim.spawn(async move {
+        s.sleep_until(SimTime::from_nanos(ev.at.as_nanos() as u64))
+            .await;
+        server.crash();
+        for c in &watchers {
+            c.notify_server_crashed(ev.server);
+        }
+        if let Some(r) = ev.restart_at {
+            s.sleep_until(SimTime::from_nanos(r.as_nanos() as u64))
+                .await;
+            server.restart().await;
+            if !catchup_grace.is_zero() {
+                s.sleep(catchup_grace).await;
+            }
+            for c in &watchers {
+                c.notify_server_restarted(ev.server);
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -320,6 +409,112 @@ mod tests {
                     s.store().stats().sets
                 );
             }
+        });
+    }
+
+    #[test]
+    fn replicated_writes_reach_every_replica_and_drain() {
+        let sim = Sim::new();
+        let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, 16 << 20);
+        cfg.servers = 2;
+        cfg.replication = ReplicationConfig::default(); // rf = 2
+        let cluster = build_cluster(&sim, &cfg);
+        let client = Rc::clone(&cluster.clients[0]);
+        let servers: Vec<_> = cluster.servers.iter().map(Rc::clone).collect();
+        let s = sim.clone();
+        sim.run_until(async move {
+            for i in 0..50u32 {
+                let c = client
+                    .set(
+                        Bytes::from(format!("rk-{i:03}")),
+                        Bytes::from(vec![i as u8; 64]),
+                        0,
+                        None,
+                    )
+                    .await
+                    .unwrap();
+                assert_eq!(c.status, OpStatus::Stored);
+            }
+            // Let the async replication pipeline drain.
+            s.sleep(Duration::from_millis(2)).await;
+            let applied: u64 = servers
+                .iter()
+                .map(|sv| sv.store().stats().repl_applied)
+                .sum();
+            assert_eq!(applied, 50, "every write lands on its replica once");
+            let sent: u64 = servers.iter().map(|sv| sv.stats().repl_sent).sum();
+            let acked: u64 = servers.iter().map(|sv| sv.stats().repl_acked).sum();
+            assert_eq!((sent, acked), (50, 50));
+            assert_eq!(
+                servers.iter().map(|sv| sv.repl_lag_ops()).sum::<u64>(),
+                0,
+                "no replication backlog after settle"
+            );
+            // Both copies are live: every key hits on *each* server's store.
+            for i in 0..50u32 {
+                let key = Bytes::from(format!("rk-{i:03}"));
+                for sv in &servers {
+                    let g = sv.store().get(&key).await;
+                    assert_eq!(g.status, OpStatus::Hit, "key {i} missing a copy");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn replicated_deletes_propagate_as_tombstones() {
+        let sim = Sim::new();
+        let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, 16 << 20);
+        cfg.servers = 2;
+        cfg.replication = ReplicationConfig::default();
+        let cluster = build_cluster(&sim, &cfg);
+        let client = Rc::clone(&cluster.clients[0]);
+        let servers: Vec<_> = cluster.servers.iter().map(Rc::clone).collect();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let key = Bytes::from_static(b"doomed");
+            client
+                .set(key.clone(), Bytes::from_static(b"v"), 0, None)
+                .await
+                .unwrap();
+            s.sleep(Duration::from_millis(1)).await;
+            client.delete(key.clone()).await.unwrap();
+            s.sleep(Duration::from_millis(2)).await;
+            for sv in &servers {
+                let g = sv.store().get(&key).await;
+                assert_eq!(g.status, OpStatus::Miss, "delete must reach both copies");
+            }
+        });
+    }
+
+    #[test]
+    fn spread_reads_are_served_by_both_replicas() {
+        let sim = Sim::new();
+        let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, 16 << 20);
+        cfg.servers = 2;
+        cfg.replication = ReplicationConfig {
+            rf: 2,
+            read_policy: crate::replication::ReadPolicy::SpreadReplicas,
+        };
+        let cluster = build_cluster(&sim, &cfg);
+        let client = Rc::clone(&cluster.clients[0]);
+        let s = sim.clone();
+        sim.run_until(async move {
+            let key = Bytes::from_static(b"hot");
+            client
+                .set(key.clone(), Bytes::from_static(b"v"), 0, None)
+                .await
+                .unwrap();
+            s.sleep(Duration::from_millis(2)).await;
+            for _ in 0..20 {
+                let g = client.get(key.clone()).await.unwrap();
+                assert_eq!(g.status, OpStatus::Hit, "replica copy must serve reads");
+            }
+            let st = client.stats();
+            assert_eq!(
+                st.replica_reads, 10,
+                "round-robin spread: half the reads hit the non-primary copy"
+            );
         });
     }
 

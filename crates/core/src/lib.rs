@@ -47,6 +47,7 @@ pub mod cluster;
 pub mod costs;
 pub mod designs;
 pub mod proto;
+pub mod replication;
 pub mod server;
 pub mod util;
 
@@ -58,6 +59,7 @@ pub use cluster::{build_cluster, Cluster, ClusterConfig};
 pub use costs::CpuCosts;
 pub use designs::{Design, SpecParams};
 pub use proto::{ApiFlavor, LeaseGeometry, OpStatus, Request, Response, ServedFrom, StageTimes};
+pub use replication::{ReadPolicy, ReplicationConfig};
 pub use server::{
     HybridStore, IoPolicy, OneSidedConfig, PromotePolicy, RecoveryReport, Server, ServerConfig,
     StoreConfig, StoreKind,

@@ -304,6 +304,33 @@ pub enum Request {
         /// Key bytes.
         key: Bytes,
     },
+    /// Primary-to-replica write propagation. The replica applies the new
+    /// state iff `seq` is newer than every sequence number it has already
+    /// applied for `key`, so out-of-order or retransmitted deliveries can
+    /// never resurrect a stale value. Replication frames coalesce into
+    /// [`Request::Batch`] doorbells on the server-to-server links, and the
+    /// replica answers each op with a [`Response::ReplAck`].
+    Replicate {
+        /// Primary-assigned request id (unique per peer link).
+        req_id: u64,
+        /// Issuing API family (replication rides the non-blocking path).
+        flavor: ApiFlavor,
+        /// Per-key monotonic sequence number assigned by the serving
+        /// server (derived from its store version counter, which survives
+        /// warm restarts).
+        seq: u64,
+        /// True for a replicated delete: `value` is empty and the replica
+        /// removes the key (the sequence number remains as a tombstone).
+        delete: bool,
+        /// Opaque client flags of the replicated value.
+        flags: u32,
+        /// Expiration of the replicated value (virtual ns; 0 = never).
+        expire_at_ns: u64,
+        /// Key bytes.
+        key: Bytes,
+        /// The full new value (empty for a delete).
+        value: Bytes,
+    },
     /// A doorbell-batched frame: several independent operations coalesced
     /// into one fabric message to amortize per-message overhead. Each
     /// member op keeps its own `req_id` (the client matches completions
@@ -347,6 +374,7 @@ impl Request {
             | Request::Stats { req_id, .. }
             | Request::WindowLease { req_id, .. }
             | Request::Touch { req_id, .. }
+            | Request::Replicate { req_id, .. }
             | Request::Batch { req_id, .. } => *req_id,
         }
     }
@@ -361,6 +389,7 @@ impl Request {
             | Request::Stats { flavor, .. }
             | Request::WindowLease { flavor, .. }
             | Request::Touch { flavor, .. }
+            | Request::Replicate { flavor, .. }
             | Request::Batch { flavor, .. } => *flavor,
         }
     }
@@ -370,7 +399,9 @@ impl Request {
     /// without encoding twice.
     pub fn wire_len(&self) -> usize {
         match self {
-            Request::Set { key, value, .. } => 39 + key.len() + value.len(),
+            Request::Set { key, value, .. } | Request::Replicate { key, value, .. } => {
+                39 + key.len() + value.len()
+            }
             Request::Get { key, .. } | Request::Delete { key, .. } => 14 + key.len(),
             Request::Counter { key, .. } => 23 + key.len(),
             Request::Stats { .. } | Request::WindowLease { .. } => 10,
@@ -447,6 +478,30 @@ impl Request {
                 b.put_u8(8);
                 b.put_u8(flavor.to_wire());
                 b.put_u64(*req_id);
+                b.freeze()
+            }
+            Request::Replicate {
+                req_id,
+                flavor,
+                seq,
+                delete,
+                flags,
+                expire_at_ns,
+                key,
+                value,
+            } => {
+                let mut b = BytesMut::with_capacity(39 + key.len() + value.len());
+                b.put_u8(9);
+                b.put_u8(flavor.to_wire());
+                b.put_u64(*req_id);
+                b.put_u64(*seq);
+                b.put_u8(*delete as u8);
+                b.put_u32(*flags);
+                b.put_u64(*expire_at_ns);
+                b.put_u32(key.len() as u32);
+                b.put_u32(value.len() as u32);
+                b.put_slice(key);
+                b.put_slice(value);
                 b.freeze()
             }
             Request::Touch {
@@ -538,6 +593,26 @@ impl Request {
             }
             6 => Ok(Request::Stats { req_id, flavor }),
             8 => Ok(Request::WindowLease { req_id, flavor }),
+            9 => {
+                let seq = r.u64()?;
+                let delete = r.u8()? == 1;
+                let flags = r.u32()?;
+                let expire_at_ns = r.u64()?;
+                let key_len = r.u32()? as usize;
+                let val_len = r.u32()? as usize;
+                let key = r.take(key_len)?;
+                let value = r.take(val_len)?;
+                Ok(Request::Replicate {
+                    req_id,
+                    flavor,
+                    seq,
+                    delete,
+                    flags,
+                    expire_at_ns,
+                    key,
+                    value,
+                })
+            }
             7 => {
                 let count = r.u32()? as usize;
                 if count == 0 {
@@ -638,6 +713,20 @@ pub enum Response {
         /// Server stage timings.
         stages: StageTimes,
     },
+    /// Replica acknowledgement of a [`Request::Replicate`]:
+    /// [`OpStatus::Stored`]/[`OpStatus::Deleted`] when the write was
+    /// applied, [`OpStatus::NotStored`] when it was dropped as stale
+    /// (an equal-or-newer sequence number had already been applied).
+    ReplAck {
+        /// Echoed request id.
+        req_id: u64,
+        /// Apply outcome.
+        status: OpStatus,
+        /// Server stage timings on the replica.
+        stages: StageTimes,
+        /// Echoed per-key sequence number.
+        seq: u64,
+    },
     /// A coalesced response frame for (part of) a [`Request::Batch`]: one
     /// completion wave's member responses in a single fabric message. The
     /// client matches each member to its op by the member's own `req_id`;
@@ -674,6 +763,7 @@ impl Response {
             | Response::Get { req_id, .. }
             | Response::Delete { req_id, .. }
             | Response::Counter { req_id, .. }
+            | Response::ReplAck { req_id, .. }
             | Response::Batch { req_id, .. } => *req_id,
         }
     }
@@ -686,7 +776,8 @@ impl Response {
             Response::Set { status, .. }
             | Response::Get { status, .. }
             | Response::Delete { status, .. }
-            | Response::Counter { status, .. } => *status,
+            | Response::Counter { status, .. }
+            | Response::ReplAck { status, .. } => *status,
             Response::Batch { responses, .. } => {
                 if responses.iter().any(|r| r.status() == OpStatus::Error) {
                     OpStatus::Error
@@ -705,7 +796,8 @@ impl Response {
             Response::Set { stages, .. }
             | Response::Get { stages, .. }
             | Response::Delete { stages, .. }
-            | Response::Counter { stages, .. } => *stages,
+            | Response::Counter { stages, .. }
+            | Response::ReplAck { stages, .. } => *stages,
             Response::Batch { .. } => StageTimes::default(),
         }
     }
@@ -761,6 +853,20 @@ impl Response {
                 b.put_u64(*req_id);
                 put_stages(&mut b, stages);
                 b.put_u64(*value);
+                b.freeze()
+            }
+            Response::ReplAck {
+                req_id,
+                status,
+                stages,
+                seq,
+            } => {
+                let mut b = BytesMut::with_capacity(88);
+                b.put_u8(134);
+                b.put_u8(status.to_wire());
+                b.put_u64(*req_id);
+                put_stages(&mut b, stages);
+                b.put_u64(*seq);
                 b.freeze()
             }
             Response::Batch { req_id, responses } => {
@@ -841,6 +947,15 @@ impl Response {
                     status,
                     stages,
                     value,
+                })
+            }
+            134 => {
+                let seq = r.u64()?;
+                Ok(Response::ReplAck {
+                    req_id,
+                    status,
+                    stages,
+                    seq,
                 })
             }
             op => Err(ProtoError::BadOpcode(op)),
@@ -1347,6 +1462,16 @@ mod tests {
                 key: Bytes::from_static(b"t"),
                 expire_at_ns: 9,
             });
+            v.push(Request::Replicate {
+                req_id: 109,
+                flavor: ApiFlavor::NonBlockingI,
+                seq: 42,
+                delete: false,
+                flags: 3,
+                expire_at_ns: 0,
+                key: Bytes::from_static(b"rk"),
+                value: Bytes::from(vec![8u8; 48]),
+            });
             let members = member_ops();
             v.push(Request::batch(107, ApiFlavor::NonBlockingI, members).unwrap());
             v
@@ -1379,6 +1504,57 @@ mod tests {
         assert_eq!(
             LeaseGeometry::decode(&wire.slice(..10)),
             Err(ProtoError::Truncated)
+        );
+    }
+
+    #[test]
+    fn replicate_round_trips_standalone_and_batched() {
+        let set = Request::Replicate {
+            req_id: 900,
+            flavor: ApiFlavor::NonBlockingI,
+            seq: 0x1234_5678_9ABC,
+            delete: false,
+            flags: 0xF00D,
+            expire_at_ns: 77,
+            key: Bytes::from_static(b"repl-key"),
+            value: Bytes::from(vec![6u8; 200]),
+        };
+        let del = Request::Replicate {
+            req_id: 901,
+            flavor: ApiFlavor::NonBlockingI,
+            seq: 9,
+            delete: true,
+            flags: 0,
+            expire_at_ns: 0,
+            key: Bytes::from_static(b"gone"),
+            value: Bytes::new(),
+        };
+        for req in [&set, &del] {
+            let wire = req.encode();
+            assert_eq!(wire[0], 9);
+            assert_eq!(wire.len(), req.wire_len());
+            assert_eq!(&Request::decode(&wire).unwrap(), req);
+        }
+        // Replication coalesces into doorbell batches like any other op.
+        let frame = Request::batch(902, ApiFlavor::NonBlockingI, vec![set, del]).unwrap();
+        let wire = frame.encode();
+        assert_eq!(wire.len(), frame.wire_len());
+        assert_eq!(Request::decode(&wire).unwrap(), frame);
+
+        let ack = Response::ReplAck {
+            req_id: 900,
+            status: OpStatus::Stored,
+            stages: stages(),
+            seq: 0x1234_5678_9ABC,
+        };
+        let wire = ack.encode();
+        assert_eq!(wire[0], 134);
+        assert_eq!(Response::decode(&wire).unwrap(), ack);
+        let ack_frame = Response::batch(903, vec![ack]).unwrap();
+        assert_eq!(
+            Response::decode(&ack_frame.encode()).unwrap(),
+            ack_frame,
+            "acks ride batch response frames"
         );
     }
 

@@ -1,0 +1,68 @@
+//! Replication configuration shared by the client, the servers, and the
+//! cluster builder.
+//!
+//! The extension replicates every write asynchronously from the key's
+//! *primary* (the first server on the consistent-hash ring walk) to the
+//! next `rf - 1` distinct servers on the ring. Acks return as soon as the
+//! primary has applied the write locally; replication frames coalesce
+//! into [`crate::proto::Request::Batch`] doorbells on dedicated
+//! server-to-server links and are retransmitted until the replica
+//! acknowledges them, so a warm-restarted replica converges.
+//!
+//! The consistency model is therefore *per-key async replication with
+//! bounded staleness*: replica reads (and reads after a failover) may lag
+//! the primary by the in-flight replication window, but per-key sequence
+//! numbers guarantee out-of-order or retransmitted deliveries can never
+//! resurrect a stale value over a newer one.
+
+/// Which replica serves a GET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPolicy {
+    /// Always read the key's primary (first live replica). Reads are
+    /// read-your-writes as long as the primary does not fail over.
+    #[default]
+    PrimaryOnly,
+    /// Rotate reads across the key's replica set (skipping replicas whose
+    /// circuit breaker is open). Scales read throughput with RF at the
+    /// cost of bounded staleness on the non-primary copies.
+    SpreadReplicas,
+}
+
+/// Replication settings for a cluster (and the clients talking to it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Replication factor: the number of distinct servers holding each
+    /// key (primary included). `1` disables replication entirely; values
+    /// above the server count are clamped to it.
+    pub rf: usize,
+    /// Read-side replica selection.
+    pub read_policy: ReadPolicy,
+}
+
+impl Default for ReplicationConfig {
+    /// The extension's default shape: one replica per key (RF = 2),
+    /// primary-only reads.
+    fn default() -> Self {
+        ReplicationConfig {
+            rf: 2,
+            read_policy: ReadPolicy::PrimaryOnly,
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// No replication: every key lives only on its primary. This is the
+    /// [`crate::cluster::ClusterConfig`] default, so existing single-copy
+    /// setups are unchanged.
+    pub fn disabled() -> Self {
+        ReplicationConfig {
+            rf: 1,
+            read_policy: ReadPolicy::PrimaryOnly,
+        }
+    }
+
+    /// True when writes actually fan out to more than one server.
+    pub fn is_replicated(&self) -> bool {
+        self.rf > 1
+    }
+}

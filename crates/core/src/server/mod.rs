@@ -10,6 +10,6 @@ pub mod store;
 pub use onesided::{Descriptor, OneSidedConfig, OneSidedIndex, OneSidedStats};
 pub use runtime::{Server, ServerConfig, ServerStats, StatsSnapshot};
 pub use store::{
-    HybridStore, IoPolicy, OpOutcome, PromotePolicy, RecoveryReport, StoreConfig, StoreKind,
-    StoreStats,
+    HybridStore, IoPolicy, OpOutcome, PromotePolicy, RecoveryReport, ReplHook, ReplUpdate,
+    StoreConfig, StoreKind, StoreStats,
 };

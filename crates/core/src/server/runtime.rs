@@ -15,16 +15,28 @@
 //!   request arrival.
 
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use nbkv_fabric::{FabricProfile, Transport, TransportTx, FRAME_OVERHEAD};
-use nbkv_simrt::{Semaphore, Sim};
+use nbkv_simrt::{Semaphore, Sim, SimTime};
 use nbkv_storesim::SlabIo;
 
-use crate::proto::{Request, Response, StageTimes};
-use crate::server::store::{HybridStore, OpOutcome, StoreConfig};
+use crate::client::Ring;
+use crate::proto::{ApiFlavor, Request, Response, StageTimes};
+use crate::server::store::{HybridStore, OpOutcome, ReplUpdate, StoreConfig};
+
+/// Replication ops coalescing into one `Request::Batch` doorbell frame.
+const REPL_BATCH_OPS: usize = 16;
+/// How long a lone replication op waits for companions before its frame
+/// ships anyway (mirrors the client-side `BatchPolicy` deadline).
+const REPL_FLUSH_DELAY: Duration = Duration::from_micros(3);
+/// Retransmit cadence for unacknowledged replication ops. Far above the
+/// fabric RTT, so only frames genuinely lost to faults or a crashed
+/// replica get resent; per-key sequence numbers make duplicates harmless.
+pub(crate) const REPL_RETRANSMIT_EVERY: Duration = Duration::from_micros(500);
 
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +106,14 @@ pub struct ServerStats {
     pub batches: u64,
     /// Member ops carried inside those batch frames.
     pub batch_ops: u64,
+    /// Replication ops enqueued toward peer replicas (each op counts once,
+    /// however many times its frame is retransmitted).
+    pub repl_sent: u64,
+    /// Replication ops acknowledged by their replica.
+    pub repl_acked: u64,
+    /// Replication ops retransmitted after the ack deadline (lost frames,
+    /// crashed replicas catching up after restart).
+    pub repl_retrans: u64,
 }
 
 /// Full server observability snapshot, served over the wire by the
@@ -184,6 +204,39 @@ struct PhaseStamps {
     overlapped: bool,
 }
 
+/// Outbound replication state toward one peer replica: a coalescing queue
+/// of `Request::Replicate` ops plus the retransmission window of ops the
+/// peer has not acknowledged yet.
+struct ReplPeer {
+    tx: TransportTx,
+    /// Ops waiting for the next doorbell frame.
+    queue: RefCell<Vec<Request>>,
+    /// True while a deadline-flush task is sleeping for this peer.
+    flush_pending: Cell<bool>,
+    /// req_id -> (op, last send time); retransmitted until acked.
+    unacked: RefCell<BTreeMap<u64, (Request, SimTime)>>,
+}
+
+/// Per-server replication engine state (installed by
+/// [`Server::enable_replication`]).
+struct ReplEngine {
+    self_id: usize,
+    ring: Ring,
+    rf: usize,
+    /// Peers keyed by server id — a BTreeMap so iteration order (and thus
+    /// virtual-time scheduling) is deterministic.
+    peers: BTreeMap<usize, Rc<ReplPeer>>,
+    next_req_id: Cell<u64>,
+}
+
+impl ReplEngine {
+    fn fresh_id(&self) -> u64 {
+        let id = self.next_req_id.get();
+        self.next_req_id.set(id + 1);
+        id
+    }
+}
+
 /// A running server node.
 pub struct Server {
     sim: Sim,
@@ -197,6 +250,8 @@ pub struct Server {
     stats: RefCell<ServerStats>,
     /// Closed servers silently drop incoming requests (crash simulation).
     closed: std::cell::Cell<bool>,
+    /// Replication engine, when this server belongs to a replicated group.
+    repl: RefCell<Option<Rc<ReplEngine>>>,
 }
 
 impl Server {
@@ -217,6 +272,7 @@ impl Server {
             staging_slots: Semaphore::new(cfg.staging_capacity.max(1)),
             stats: RefCell::new(ServerStats::default()),
             closed: std::cell::Cell::new(false),
+            repl: RefCell::new(None),
         });
         if cfg.pipeline {
             for _ in 0..cfg.workers.max(1) {
@@ -269,6 +325,15 @@ impl Server {
     /// later [`restart`](Self::restart) rebuilds the index from them.
     pub fn crash(&self) {
         self.closed.set(true);
+        // Outbound replication queues are RAM state too: un-flushed and
+        // unacked ops die with the node. Writes the crashed node had acked
+        // but not yet replicated are rewritten by clients after failover.
+        if let Some(engine) = self.repl.borrow().as_ref() {
+            for peer in engine.peers.values() {
+                peer.queue.borrow_mut().clear();
+                peer.unacked.borrow_mut().clear();
+            }
+        }
         self.store.crash();
     }
 
@@ -279,6 +344,204 @@ impl Server {
         let report = self.store.recover().await;
         self.closed.set(false);
         report
+    }
+
+    /// Turn on replication for this server: it is node `self_id` of the
+    /// `ring`, every locally served write fans out to the key's other
+    /// replicas (the next `rf - 1` distinct ring servers), and `peers`
+    /// carries the outbound transport toward each other node. Replication
+    /// ops coalesce into `Request::Batch` doorbell frames and are
+    /// retransmitted until the replica acks, so a replica that was down
+    /// catches up after restart.
+    pub fn enable_replication(
+        self: &Rc<Self>,
+        self_id: usize,
+        ring: Ring,
+        rf: usize,
+        peers: Vec<(usize, Transport)>,
+    ) {
+        let mut map = BTreeMap::new();
+        for (id, transport) in peers {
+            let (tx, rx) = transport.split();
+            let peer = Rc::new(ReplPeer {
+                tx,
+                queue: RefCell::new(Vec::new()),
+                flush_pending: Cell::new(false),
+                unacked: RefCell::new(BTreeMap::new()),
+            });
+            map.insert(id, Rc::clone(&peer));
+            // Ack receiver: drains ReplAck frames coming back on this link.
+            let weak = Rc::downgrade(self);
+            let p = Rc::clone(&peer);
+            self.sim.spawn(async move {
+                while let Some(msg) = rx.recv().await {
+                    let Some(server) = weak.upgrade() else { break };
+                    server.handle_repl_ack(&p, &msg);
+                }
+            });
+            // Retransmit loop: resend ops the replica has not acked.
+            let weak = Rc::downgrade(self);
+            let p = Rc::clone(&peer);
+            let sim = self.sim.clone();
+            self.sim.spawn(async move {
+                loop {
+                    sim.sleep(REPL_RETRANSMIT_EVERY).await;
+                    let Some(server) = weak.upgrade() else { break };
+                    server.retransmit_unacked(&p).await;
+                }
+            });
+        }
+        let engine = Rc::new(ReplEngine {
+            self_id,
+            ring,
+            rf,
+            peers: map,
+            next_req_id: Cell::new(1),
+        });
+        *self.repl.borrow_mut() = Some(engine);
+        let weak = Rc::downgrade(self);
+        self.store.set_repl_hook(Rc::new(move |update| {
+            if let Some(server) = weak.upgrade() {
+                server.on_local_write(update);
+            }
+        }));
+    }
+
+    /// Replication lag: ops enqueued toward replicas but not yet acked
+    /// (coalescing queues plus retransmission windows, all peers).
+    pub fn repl_lag_ops(&self) -> u64 {
+        match self.repl.borrow().as_ref() {
+            Some(engine) => engine
+                .peers
+                .values()
+                .map(|p| (p.queue.borrow().len() + p.unacked.borrow().len()) as u64)
+                .sum(),
+            None => 0,
+        }
+    }
+
+    /// Store hook target: fan a locally served write out to the key's
+    /// other replicas. Runs synchronously inside the store mutation; the
+    /// actual sends happen in spawned flush tasks.
+    fn on_local_write(self: &Rc<Self>, update: ReplUpdate) {
+        let Some(engine) = self.repl.borrow().clone() else {
+            return;
+        };
+        for target in engine.ring.select_replicas(&update.key, engine.rf) {
+            if target == engine.self_id {
+                continue;
+            }
+            let Some(peer) = engine.peers.get(&target) else {
+                continue;
+            };
+            let req_id = engine.fresh_id();
+            let req = Request::Replicate {
+                req_id,
+                flavor: ApiFlavor::NonBlockingI,
+                seq: update.seq,
+                delete: update.delete,
+                flags: update.flags,
+                expire_at_ns: update.expire_at_ns,
+                key: update.key.clone(),
+                value: update.value.clone(),
+            };
+            peer.unacked
+                .borrow_mut()
+                .insert(req_id, (req.clone(), self.sim.now()));
+            peer.queue.borrow_mut().push(req);
+            self.stats.borrow_mut().repl_sent += 1;
+            self.schedule_repl_flush(&engine, peer);
+        }
+    }
+
+    /// Ship the peer's queue now if a full doorbell's worth of ops is
+    /// waiting, otherwise arm the deadline flush.
+    fn schedule_repl_flush(self: &Rc<Self>, engine: &Rc<ReplEngine>, peer: &Rc<ReplPeer>) {
+        if peer.queue.borrow().len() >= REPL_BATCH_OPS {
+            let server = Rc::clone(self);
+            let engine = Rc::clone(engine);
+            let p = Rc::clone(peer);
+            self.sim
+                .spawn(async move { server.flush_repl_queue(&engine, &p).await });
+        } else if !peer.flush_pending.get() {
+            peer.flush_pending.set(true);
+            let server = Rc::clone(self);
+            let engine = Rc::clone(engine);
+            let p = Rc::clone(peer);
+            let sim = self.sim.clone();
+            self.sim.spawn(async move {
+                sim.sleep(REPL_FLUSH_DELAY).await;
+                p.flush_pending.set(false);
+                server.flush_repl_queue(&engine, &p).await;
+            });
+        }
+    }
+
+    async fn flush_repl_queue(&self, engine: &ReplEngine, peer: &ReplPeer) {
+        let ops = std::mem::take(&mut *peer.queue.borrow_mut());
+        // A crashed sender stops transmitting; whatever the crash left in
+        // `unacked` was already cleared by `crash()`.
+        if ops.is_empty() || self.closed.get() {
+            return;
+        }
+        let frame = Request::batch(engine.fresh_id(), ApiFlavor::NonBlockingI, ops)
+            .expect("non-empty replication flush");
+        let _ = peer.tx.send(frame.encode()).await;
+    }
+
+    /// Resend every op the replica has not acknowledged within the
+    /// retransmit window, oldest first, chunked into doorbell frames — so
+    /// a replica coming back from a long outage drains its whole backlog
+    /// in one tick instead of one frame per tick.
+    async fn retransmit_unacked(&self, peer: &ReplPeer) {
+        if self.closed.get() {
+            return;
+        }
+        let engine = match self.repl.borrow().clone() {
+            Some(e) => e,
+            None => return,
+        };
+        let now = self.sim.now();
+        let due: Vec<Request> = {
+            let mut unacked = peer.unacked.borrow_mut();
+            unacked
+                .iter_mut()
+                .filter(|(_, (_, sent_at))| now - *sent_at >= REPL_RETRANSMIT_EVERY)
+                .map(|(_, slot)| {
+                    slot.1 = now;
+                    slot.0.clone()
+                })
+                .collect()
+        };
+        if due.is_empty() {
+            return;
+        }
+        self.stats.borrow_mut().repl_retrans += due.len() as u64;
+        for chunk in due.chunks(REPL_BATCH_OPS) {
+            let frame = Request::batch(engine.fresh_id(), ApiFlavor::NonBlockingI, chunk.to_vec())
+                .expect("non-empty retransmit");
+            let _ = peer.tx.send(frame.encode()).await;
+        }
+    }
+
+    /// Handle a frame coming back on a replication link: every `ReplAck`
+    /// member settles one op in the peer's retransmission window.
+    fn handle_repl_ack(&self, peer: &ReplPeer, msg: &Bytes) {
+        let Ok(resp) = Response::decode(msg) else {
+            self.stats.borrow_mut().proto_errors += 1;
+            return;
+        };
+        let members: Vec<Response> = match resp {
+            Response::Batch { responses, .. } => responses,
+            other => vec![other],
+        };
+        for member in members {
+            if let Response::ReplAck { req_id, .. } = member {
+                if peer.unacked.borrow_mut().remove(&req_id).is_some() {
+                    self.stats.borrow_mut().repl_acked += 1;
+                }
+            }
+        }
     }
 
     /// Accept a client connection; spawns the per-connection receive task.
@@ -532,6 +795,28 @@ impl Server {
                     req_id,
                     status: out.status,
                     stages: self.finish_stages(out, profile, 0, stamps),
+                }
+            }
+            Request::Replicate {
+                req_id,
+                seq,
+                delete,
+                flags,
+                expire_at_ns,
+                key,
+                value,
+                ..
+            } => {
+                let out = self
+                    .store
+                    .apply_replicated(key, value, delete, flags, expire_at_ns, seq)
+                    .await;
+                let status = out.status;
+                Response::ReplAck {
+                    req_id,
+                    status,
+                    stages: self.finish_stages(out, profile, 0, stamps),
+                    seq,
                 }
             }
             // Batches are fanned out in `handle_batch` before `process`,

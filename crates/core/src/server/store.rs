@@ -249,6 +249,47 @@ pub struct StoreStats {
     pub crashes: u64,
     /// Items re-indexed from SSD extents during warm recovery.
     pub recovered_items: u64,
+    /// Replicated writes applied (set or delete) via
+    /// [`HybridStore::apply_replicated`].
+    pub repl_applied: u64,
+    /// Replicated writes dropped because an equal-or-newer per-key
+    /// sequence number had already been applied (out-of-order delivery or
+    /// retransmit; dropping prevents stale-value resurrection).
+    pub repl_stale_drops: u64,
+}
+
+/// One logical write for the replication engine to propagate: the full
+/// new state of a key (or its deletion) plus the per-key sequence number
+/// that orders it against every other write to the same key.
+#[derive(Debug, Clone)]
+pub struct ReplUpdate {
+    /// Key bytes.
+    pub key: Bytes,
+    /// The complete new value (empty for a delete).
+    pub value: Bytes,
+    /// True if the key was deleted.
+    pub delete: bool,
+    /// Opaque client flags of the new value.
+    pub flags: u32,
+    /// Expiration (virtual ns since sim start; 0 = never).
+    pub expire_at_ns: u64,
+    /// Per-key monotonic sequence number (derived from the store version
+    /// counter, which survives warm restarts).
+    pub seq: u64,
+}
+
+/// Callback invoked synchronously for every *locally originated* write
+/// (never for replicated applies); the server's replication engine uses
+/// it to enqueue [`ReplUpdate`]s toward the key's other replicas.
+pub type ReplHook = Rc<dyn Fn(ReplUpdate)>;
+
+/// Who originated a store mutation (drives the replication hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteOrigin {
+    /// A client request served by this node: propagate to replicas.
+    Local,
+    /// An incoming [`ReplUpdate`] apply: never re-propagated.
+    Replicated,
 }
 
 /// Outcome of a warm recovery scan ([`HybridStore::recover`]).
@@ -295,6 +336,14 @@ pub struct HybridStore {
     flushes_in_flight: Cell<u32>,
     mem_notify: Notify,
     stats: Rc<RefCell<StoreStats>>,
+    /// Highest replication sequence number seen (generated or applied)
+    /// per key. Survives deletes as a tombstone so a late replicated
+    /// write cannot resurrect a removed value; lost on crash like every
+    /// other RAM structure (the first post-restart delivery re-seeds it).
+    repl_seqs: RefCell<std::collections::HashMap<Bytes, u64>>,
+    /// Replication hook for locally originated writes, if the server
+    /// enabled replication.
+    repl_hook: RefCell<Option<ReplHook>>,
     /// One-sided index region, if the server publishes one. Every mutation
     /// that changes where (or whether) a value lives must keep it coherent
     /// via the seqlock hooks below.
@@ -326,8 +375,18 @@ impl HybridStore {
             flushes_in_flight: Cell::new(0),
             mem_notify: Notify::new(),
             stats: Rc::new(RefCell::new(StoreStats::default())),
+            repl_seqs: RefCell::new(std::collections::HashMap::new()),
+            repl_hook: RefCell::new(None),
             onesided: RefCell::new(None),
         })
+    }
+
+    /// Install the replication hook: from now on every locally originated
+    /// mutation (set/counter/append/delete — not expiry reaping, not
+    /// capacity eviction, and never a replicated apply) calls it with the
+    /// key's full new state and sequence number.
+    pub fn set_repl_hook(&self, hook: ReplHook) {
+        *self.repl_hook.borrow_mut() = Some(hook);
     }
 
     /// Attach a one-sided index region; subsequent mutations publish and
@@ -506,7 +565,7 @@ impl HybridStore {
         }
         stages.check_load_ns = self.ns_since(t_check);
 
-        self.store_item(key, value, flags, expire_at_ns, stages)
+        self.store_item(key, value, flags, expire_at_ns, stages, WriteOrigin::Local)
             .await
     }
 
@@ -519,6 +578,7 @@ impl HybridStore {
         flags: u32,
         expire_at_ns: u64,
         mut stages: StageTimes,
+        origin: WriteOrigin,
     ) -> OpOutcome {
         let item_len = SlabPool::item_len(key.len(), value.len());
         let Some(class) = self.pool.borrow().class_for(item_len) else {
@@ -572,7 +632,7 @@ impl HybridStore {
         self.next_version.set(version + 1);
         self.os_publish(&key, &value, flags, expire_at_ns);
         let old = self.index.borrow_mut().insert(
-            key,
+            key.clone(),
             ItemMeta {
                 loc: Location::Ram(id),
                 class: class as u32,
@@ -589,6 +649,9 @@ impl HybridStore {
         stages.cache_update_ns = self.ns_since(t2);
 
         self.stats.borrow_mut().sets += 1;
+        if origin == WriteOrigin::Local {
+            self.fire_repl_hook(key, value, false, flags, expire_at_ns, version);
+        }
         OpOutcome {
             status: OpStatus::Stored,
             value: None,
@@ -838,13 +901,116 @@ impl HybridStore {
         stages.cache_update_ns = self.ns_since(t0);
         if removed {
             self.stats.borrow_mut().deletes += 1;
+            // Deletes version like stores do, so a replicated tombstone
+            // carries a seq newer than the value it removes.
+            let version = self.next_version.get();
+            self.next_version.set(version + 1);
+            self.fire_repl_hook(key.clone(), Bytes::new(), true, 0, 0, version);
             OpOutcome::status_only(OpStatus::Deleted, stages)
         } else {
             OpOutcome::status_only(OpStatus::NotFound, stages)
         }
     }
 
+    /// Apply a replicated write (or tombstone) received from the key's
+    /// primary. Admission is guarded by the per-key sequence number: a
+    /// frame whose `seq` is not strictly newer than the highest already
+    /// seen for `key` is dropped (`NotStored`), so out-of-order delivery
+    /// and retransmits can never resurrect a stale value. The sequence map
+    /// lives in RAM — after a crash the first delivery for each key
+    /// re-seeds it, which is safe because seqs only ever grow.
+    pub async fn apply_replicated(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        delete: bool,
+        flags: u32,
+        expire_at_ns: u64,
+        seq: u64,
+    ) -> OpOutcome {
+        let stages = StageTimes {
+            served_from: ServedFrom::None,
+            ..StageTimes::default()
+        };
+        self.charge(self.cfg.costs.hash).await;
+        // Lamport-style clock sync: advance the local version counter past
+        // any sequence number we observe, so sequence floors minted here
+        // stay comparable with the peer's after a failover swaps which
+        // node originates a key's writes (without this, a recovering
+        // primary can mint seqs forever below its promoted replica's and
+        // have every post-restart write rejected as stale).
+        if self.next_version.get() <= seq {
+            self.next_version.set(seq + 1);
+        }
+        {
+            let mut seqs = self.repl_seqs.borrow_mut();
+            let last = seqs.get(&key).copied().unwrap_or(0);
+            if seq <= last {
+                self.stats.borrow_mut().repl_stale_drops += 1;
+                return OpOutcome::status_only(OpStatus::NotStored, stages);
+            }
+            seqs.insert(key.clone(), seq);
+        }
+        if delete {
+            self.remove_entry(&key);
+            self.stats.borrow_mut().repl_applied += 1;
+            return OpOutcome::status_only(OpStatus::Deleted, stages);
+        }
+        let out = self
+            .store_item(
+                key,
+                value,
+                flags,
+                expire_at_ns,
+                stages,
+                WriteOrigin::Replicated,
+            )
+            .await;
+        if out.status == OpStatus::Stored {
+            self.stats.borrow_mut().repl_applied += 1;
+        }
+        out
+    }
+
     // -- internals ---------------------------------------------------------
+
+    /// Next replication sequence number for `key`: strictly above both the
+    /// highest seq this store has seen for the key (generated *or*
+    /// admitted — so a promoted replica continues the primary's numbering)
+    /// and `floor`, the item version, which survives warm restarts via
+    /// `next_version`.
+    fn next_repl_seq(&self, key: &Bytes, floor: u64) -> u64 {
+        let mut seqs = self.repl_seqs.borrow_mut();
+        let last = seqs.get(key).copied().unwrap_or(0);
+        let seq = (last + 1).max(floor);
+        seqs.insert(key.clone(), seq);
+        seq
+    }
+
+    /// Invoke the replication hook (if installed) for a locally originated
+    /// mutation. `version` floors the generated sequence number.
+    fn fire_repl_hook(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        delete: bool,
+        flags: u32,
+        expire_at_ns: u64,
+        version: u64,
+    ) {
+        let hook = self.repl_hook.borrow().clone();
+        if let Some(hook) = hook {
+            let seq = self.next_repl_seq(&key, version);
+            hook(ReplUpdate {
+                key,
+                value,
+                delete,
+                flags,
+                expire_at_ns,
+                seq,
+            });
+        }
+    }
 
     fn touch_lru(&self, class: usize, id: u64) {
         let (page, _) = unpack_item_id(id);
@@ -1261,6 +1427,7 @@ impl HybridStore {
         *self.item_lru.borrow_mut() = (0..n_classes).map(|_| LruMap::new()).collect();
         *self.page_lru.borrow_mut() = (0..n_classes).map(|_| LruMap::new()).collect();
         self.inflight_flushes.borrow_mut().clear();
+        self.repl_seqs.borrow_mut().clear();
         if let Some(os) = self.onesided.borrow().as_ref() {
             os.clear();
         }

@@ -132,6 +132,77 @@ fn warm_restart_recovers_ssd_resident_items() {
     });
 }
 
+/// Regression test for the crash-failover latency bug: before crash
+/// notifications, a write to a crashed primary burned the full per-attempt
+/// deadline (and failure threshold) before the breaker ever opened. With
+/// [`notify_server_crashed`](nbkv_core::Client::notify_server_crashed)
+/// (wired up by the cluster's crash tasks), the breaker opens at crash
+/// delivery and the very next attempt retargets the next live replica —
+/// the whole failover write completes in well under one deadline.
+#[test]
+fn crash_notification_fails_over_without_burning_the_deadline() {
+    let sim = Sim::new();
+    let mut cfg = ClusterConfig::new(Design::HRdmaOptNonBI, 16 << 20);
+    cfg.servers = 2;
+    cfg.replication = nbkv_core::ReplicationConfig::default(); // rf = 2
+    let deadline = Duration::from_millis(100);
+    cfg.client.resilience = ResiliencePolicy {
+        deadline: Some(deadline),
+        ..ResiliencePolicy::default()
+    };
+    // Crash server 0 at 1ms, no restart.
+    cfg.chaos = ChaosConfig {
+        seed: 1,
+        crashes: vec![CrashEvent {
+            server: 0,
+            at: Duration::from_millis(1),
+            restart_at: None,
+        }],
+        ..ChaosConfig::default()
+    };
+    let cluster = build_cluster(&sim, &cfg);
+    let client = Rc::clone(&cluster.clients[0]);
+    let sim2 = sim.clone();
+    sim.run_until(async move {
+        // Find keys whose ring primary is each server.
+        let key_on = |server: usize| {
+            (0..10_000)
+                .map(key)
+                .find(|k| nbkv_core::Ring::new(2).select(k) == server)
+                .expect("some key lands on each server")
+        };
+        let k0 = key_on(0);
+        let k1 = key_on(1);
+        sim2.sleep(Duration::from_millis(2)).await; // crash delivered
+        let t0 = sim2.now();
+        // Write to the crashed primary's key: must promote to server 1
+        // immediately instead of timing out first.
+        let c = client
+            .set(k0.clone(), Bytes::from_static(b"v0"), 0, None)
+            .await
+            .expect("failover write succeeds");
+        assert_eq!(c.status, OpStatus::Stored);
+        let elapsed = sim2.now() - t0;
+        assert!(
+            elapsed < deadline / 2,
+            "failover must not burn the deadline (took {elapsed:?})"
+        );
+        // Keys on the live primary are untouched by the failover.
+        let c = client
+            .set(k1, Bytes::from_static(b"v1"), 0, None)
+            .await
+            .expect("live-primary write");
+        assert_eq!(c.status, OpStatus::Stored);
+        let st = client.stats();
+        assert_eq!(st.promotions, 1, "exactly the k0 write was promoted");
+        assert_eq!(st.timeouts, 0, "no attempt waited out a deadline");
+        // The promoted copy serves reads (failover read path).
+        let g = client.get(k0).await.expect("failover read");
+        assert_eq!(g.status, OpStatus::Hit);
+        assert_eq!(&g.value.unwrap()[..], b"v0");
+    });
+}
+
 fn chaos_cluster_config(design: Design, seed: u64) -> ClusterConfig {
     let ms = Duration::from_millis;
     let mut cfg = ClusterConfig::new(design, 4 << 20);

@@ -25,6 +25,9 @@ NBKV_RESULTS_DIR="$OUT" cargo run -q --release -p nbkv-bench --bin regress
 echo "==> running one-sided regression bench (fixed scale, seed 42) -> $OUT"
 NBKV_RESULTS_DIR="$OUT" cargo run -q --release -p nbkv-bench --bin regress_onesided
 
+echo "==> running replication regression bench (fixed scale, seed 42) -> $OUT"
+NBKV_RESULTS_DIR="$OUT" cargo run -q --release -p nbkv-bench --bin regress_replication
+
 if [[ "${1:-}" == "--bless" ]]; then
     rm -rf "$GOLDEN"
     mkdir -p "$GOLDEN"
